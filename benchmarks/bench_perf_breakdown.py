@@ -1,0 +1,59 @@
+"""Section 7.2.1: the packet-to-actuation latency decomposition.
+
+The paper: verified stack is 10x slower than the unverified prototype,
+decomposed as 10x ~= (1.4x SPI pipelining x 1.2x timeout logic) x 2.1x
+compiler x 2.7x processor. This benchmark measures the same latency (in
+cycles) under the same configuration axes and reports the measured factors
+next to the paper's. Absolute numbers differ (our substrate is a
+simulator); the *shape* -- who wins, and roughly by how much per factor --
+is the reproduction target.
+"""
+
+import pytest
+
+from repro.core.timing import factor_decomposition, measure_latency
+
+_RESULT = {}
+
+
+def _decompose():
+    if "d" not in _RESULT:
+        _RESULT["d"] = factor_decomposition()
+    return _RESULT["d"]
+
+
+def test_perf_breakdown(benchmark):
+    decomposition = benchmark.pedantic(_decompose, rounds=1, iterations=1)
+    paper = decomposition["paper"]
+    print()
+    print("Section 7.2.1: latency decomposition "
+          "(verified stack vs unverified prototype)")
+    print("  %-18s %9s %7s" % ("factor", "measured", "paper"))
+    for key in ("spi_pipelining", "timeout_logic", "compiler", "processor",
+                "total"):
+        print("  %-18s %8.2fx %6.1fx" % (key, decomposition[key], paper[key]))
+    print("  raw latencies (cycles):")
+    for config, cycles in sorted(decomposition["latencies"].items()):
+        print("    %-45s %7d" % (config, cycles))
+    # Shape assertions: every factor is a slowdown in the same direction as
+    # the paper's, and the end-to-end gap is the same order of magnitude.
+    assert decomposition["spi_pipelining"] > 1.0
+    assert decomposition["timeout_logic"] > 1.0
+    assert decomposition["compiler"] > 1.5
+    assert decomposition["processor"] > 1.0
+    assert 2.0 < decomposition["total"] < 50.0
+    # The factors multiply to the total (the paper's identity).
+    assert abs(decomposition["product"] - decomposition["total"]) < 1e-6
+
+
+def test_verified_latency_measurement(benchmark):
+    """The headline measurement itself (the paper's 5.5 ms), as cycles on
+    the pipelined Kami processor, timed end to end."""
+    result = benchmark.pedantic(
+        lambda: measure_latency("p4mm", "verified", "verified"),
+        rounds=1, iterations=1)
+    print()
+    print("verified stack packet-to-actuation: %d cycles "
+          "(boot took %d cycles; %d SPI bytes on the wire)"
+          % (result.latency_cycles, result.boot_cycles, result.mmio_events))
+    assert result.latency_cycles > 1000

@@ -1,0 +1,40 @@
+"""Table 1: evaluation criteria for verified stacks.
+
+Prior-work rows are data from the paper; the row for this repository is
+*computed* by probing the codebase for each capability, and the benchmark
+times that probe (it compiles the lightbulb and exercises every layer).
+"""
+
+from repro.core.survey import CRITERIA, full_table, self_assessment
+
+_MARK = {"yes": "Y", "partial": "~", "no": "x", "n/a": "-"}
+
+
+def _print_table(table):
+    names = list(table)
+    width = max(len(n) for n in names) + 2
+    print()
+    print("Table 1: evaluation criteria for verified stacks")
+    print("  (Y met / ~ partially / x not met / - not applicable)")
+    header = " " * width + " ".join("%2d" % (i + 1) for i in range(len(CRITERIA)))
+    print(header)
+    for i, criterion in enumerate(CRITERIA):
+        print("  %2d = %s" % (i + 1, criterion))
+    for name in names:
+        row = table[name]
+        print(name.ljust(width)
+              + "  ".join(_MARK[cell] for cell in row))
+
+
+def test_table1(benchmark):
+    assessment = benchmark(self_assessment)
+    table = full_table()
+    _print_table(table)
+    # The self-probe must find the full stack present.
+    met = sum(1 for v in assessment.values() if v == "yes")
+    assert met >= 10, assessment
+    # Reproduction claim: this repo matches the paper's column everywhere
+    # except "one proof assistant" (decision procedures are not Coq).
+    differs = [c for c in CRITERIA
+               if assessment[c] != "yes" and c != "One proof assistant"]
+    assert not differs, differs

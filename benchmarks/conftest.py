@@ -1,0 +1,12 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index) and prints it, so that
+``pytest benchmarks/ --benchmark-only`` reproduces the whole evaluation.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))

@@ -1,0 +1,11 @@
+"""Make ``src/`` importable when the package is not pip-installed.
+
+The execution environment has no network and no ``wheel`` package, so
+``pip install -e .`` cannot build a PEP-660 editable wheel. Putting the
+source tree on ``sys.path`` here gives the same effect for pytest runs.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

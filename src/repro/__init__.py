@@ -1,0 +1,21 @@
+"""repro: an executable Python reproduction of "Integration Verification
+across Software and Hardware for a Simple Embedded System" (PLDI 2021).
+
+The stack, bottom to top (see DESIGN.md for the full inventory):
+
+* `repro.logic`    -- terms, simplifier, SAT solver, bit-blaster (the
+                      decision substrate standing in for Coq proof checking)
+* `repro.bedrock2` -- the Bedrock2 language: syntax, semantics, program logic
+* `repro.riscv`    -- RV32IM: encoding, formal-style semantics, machines
+* `repro.compiler` -- the 3-phase verified-style compiler + optimizing baseline
+* `repro.kami`     -- rule-based hardware framework, spec + pipelined processors
+* `repro.platform` -- device models: MMIO bus, GPIO, SPI, LAN9250, packets
+* `repro.sw`       -- the lightbulb application and drivers, plus their specs
+* `repro.traces`   -- the trace-predicate specification language
+* `repro.core`     -- end-to-end theorem checker, integration checks, evaluation
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["logic", "bedrock2", "riscv", "compiler", "kami", "platform",
+           "sw", "traces", "core"]

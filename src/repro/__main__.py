@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library's main entry points for interactive exploration:
+
+* ``verify``      -- program-logic verification of the lightbulb software
+* ``check``       -- the per-interface integration checks (Figure 3)
+* ``end2end``     -- run the end-to-end theorem checker with packets
+* ``bench``       -- the §7.2.1 latency decomposition
+* ``disasm``      -- disassemble the compiled lightbulb (or doorlock)
+* ``export-c``    -- print the Bedrock2-to-C export of the lightbulb
+* ``demo``        -- a short interactive lightbulb session on the ISA machine
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_verify(args) -> int:
+    from .sw.verify import verify_all, verify_doorlock, verify_drain_buggy_fails
+
+    run = verify_all()
+    print(run)
+    print("door-lock application (reusing the driver contracts):")
+    print(verify_doorlock())
+    err = verify_drain_buggy_fails()
+    print("negative control: buggy drain fails at %s" % err.context)
+    return 0
+
+
+def cmd_check(args) -> int:
+    from .core.integration import run_all_checks
+
+    failures = 0
+    for result in run_all_checks():
+        print("%-45s %s" % (result.name,
+                            "ok" if result.ok else "FAILED " + result.detail))
+        failures += 0 if result.ok else 1
+    return 1 if failures else 0
+
+
+def cmd_end2end(args) -> int:
+    from .core.end2end import run_adversarial
+
+    result = run_adversarial(seed=args.seed, n_frames=args.frames,
+                             processor=args.processor)
+    print("processor=%s frames=%d: %s" % (
+        args.processor, args.frames,
+        "trace within goodHlTrace" if result.ok else "VIOLATION: " + result.detail))
+    print("instructions=%d mmio_events=%d bulb_history=%r"
+          % (result.instructions, len(result.trace), result.bulb_history))
+    return 0 if result.ok else 1
+
+
+def cmd_bench(args) -> int:
+    from .core.timing import factor_decomposition
+
+    decomposition = factor_decomposition()
+    print("%-18s %9s %7s" % ("factor", "measured", "paper"))
+    for key in ("spi_pipelining", "timeout_logic", "compiler", "processor",
+                "total"):
+        print("%-18s %8.2fx %6.1fx" % (key, decomposition[key],
+                                       decomposition["paper"][key]))
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from .riscv.disasm import disassemble
+
+    if args.app == "doorlock":
+        from .compiler import compile_program
+        from .sw.doorlock import doorlock_program
+
+        compiled = compile_program(doorlock_program(), entry="main",
+                                   stack_top=1 << 16)
+    else:
+        from .sw.program import compiled_lightbulb
+
+        compiled = compiled_lightbulb(stack_top=1 << 16)
+    symbols = {name: addr for name, addr in compiled.symbols.items()
+               if name.startswith("func.") or name in ("_start", "halt")}
+    for line in disassemble(compiled.image, symbols=symbols):
+        print(line)
+    return 0
+
+
+def cmd_export_c(args) -> int:
+    from .bedrock2.c_export import export_program
+    from .sw.program import lightbulb_program
+
+    print(export_program(lightbulb_program()))
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from .platform.net import lightbulb_packet, oversize_packet
+    from .riscv.machine import RiscvMachine
+    from .sw.program import compiled_lightbulb, make_platform
+    from .sw.specs import good_hl_trace
+
+    compiled = compiled_lightbulb(stack_top=1 << 16)
+    plat = make_platform()
+    machine = RiscvMachine.with_program(compiled.image, mem_size=1 << 16,
+                                        mmio_bus=plat.bus)
+    machine.run(400_000, stop=lambda m: plat.lan.rx_enabled)
+    print("booted (%d instructions); bulb off" % machine.instret)
+    script = [("ON command", lightbulb_packet(True)),
+              ("2KB oversize attack", oversize_packet(2000)),
+              ("OFF command", lightbulb_packet(False))]
+    for label, frame in script:
+        plat.lan.inject_frame(frame)
+        machine.run(2_000_000, stop=lambda m: not plat.lan.frames
+                    and not plat.lan._active_words)
+        machine.run(30_000)  # let the loop iteration finish actuating
+        print("%-18s -> bulb %s" % (label,
+                                    "ON" if plat.gpio.bulb_on else "OFF"))
+    ok = good_hl_trace().prefix_of(machine.trace)
+    print("trace (%d events) within goodHlTrace: %s"
+          % (len(machine.trace), ok))
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("verify", help="verify the lightbulb software")
+    sub.add_parser("check", help="run the integration checks")
+    p = sub.add_parser("end2end", help="end-to-end theorem with fuzzing")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--frames", type=int, default=10)
+    p.add_argument("--processor", choices=("isa", "kami-spec", "p4mm"),
+                   default="isa")
+    sub.add_parser("bench", help="latency decomposition (§7.2.1)")
+    p = sub.add_parser("disasm", help="disassemble a compiled app")
+    p.add_argument("--app", choices=("lightbulb", "doorlock"),
+                   default="lightbulb")
+    sub.add_parser("export-c", help="print the C export of the lightbulb")
+    sub.add_parser("demo", help="interactive lightbulb session")
+    args = parser.parse_args(argv)
+    handler = {
+        "verify": cmd_verify,
+        "check": cmd_check,
+        "end2end": cmd_end2end,
+        "bench": cmd_bench,
+        "disasm": cmd_disasm,
+        "export-c": cmd_export_c,
+        "demo": cmd_demo,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

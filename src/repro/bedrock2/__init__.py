@@ -1,0 +1,10 @@
+"""The Bedrock2 source language: syntax, semantics, program logic.
+
+Paper sections 4 (CPS semantics), 5.2 (the language), 6.1 (I/O as external
+calls). The three software source files of the lightbulb system are written
+in this language via the `builder` eDSL; see `repro.sw`.
+"""
+
+from . import ast_, builder, extspec, semantics, smallstep, vcgen, word
+
+__all__ = ["ast_", "builder", "semantics", "smallstep", "vcgen", "extspec", "word"]

@@ -1,0 +1,65 @@
+"""External-call specifications (the paper's ``vcextern``, section 6.1).
+
+The Bedrock2 program logic is parameterized over the meaning of external
+calls. For the lightbulb platform the instantiation is MMIO: an
+``MMIOREAD``/``MMIOWRITE`` call must target a word-aligned address inside
+the platform's MMIO ranges (an *obligation* the programmer proves), and the
+read value is universally quantified (a fresh symbol the programmer must
+handle for all values) -- exactly the ∀-vs-∃ split the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..logic import terms as T
+from .vcgen import SymEvent, SymState, VC, VerificationError
+
+
+class SymExtSpec:
+    """Base class: no external calls allowed."""
+
+    def apply(self, vc: VC, state: SymState, action: str,
+              args: Tuple[T.Term, ...], context: str) -> Tuple[T.Term, ...]:
+        raise VerificationError(context, "no external call %r on this platform"
+                                % action)
+
+
+class MMIOSpec(SymExtSpec):
+    """MMIO instantiation of ``vcextern``.
+
+    ``ranges`` is a list of half-open address intervals (the platform's
+    memory map); the obligation for each call is membership plus 4-byte
+    alignment, matching the paper's ``nonmem_load`` instance in section 6.2.
+    """
+
+    def __init__(self, ranges: Sequence[Tuple[int, int]]):
+        self.ranges = tuple(ranges)
+
+    def is_mmio_addr(self, addr: T.Term) -> T.Term:
+        cases = [T.and_(T.ule(T.const(lo), addr), T.ult(addr, T.const(hi)))
+                 for lo, hi in self.ranges]
+        return T.or_(*cases)
+
+    def aligned(self, addr: T.Term) -> T.Term:
+        return T.eq(T.band(addr, T.const(3)), T.const(0))
+
+    def apply(self, vc, state, action, args, context):
+        if action == "MMIOREAD":
+            if len(args) != 1:
+                raise VerificationError(context, "MMIOREAD takes 1 argument")
+            (addr,) = args
+            vc.prove(state, self.is_mmio_addr(addr), context + "/isMMIOAddr")
+            vc.prove(state, self.aligned(addr), context + "/isMMIOAligned")
+            value = vc.fresh("mmio_read")
+            state.trace.append(SymEvent("MMIOREAD", (addr,), (value,)))
+            return (value,)
+        if action == "MMIOWRITE":
+            if len(args) != 2:
+                raise VerificationError(context, "MMIOWRITE takes 2 arguments")
+            addr, value = args
+            vc.prove(state, self.is_mmio_addr(addr), context + "/isMMIOAddr")
+            vc.prove(state, self.aligned(addr), context + "/isMMIOAligned")
+            state.trace.append(SymEvent("MMIOWRITE", (addr, value), ()))
+            return ()
+        raise VerificationError(context, "unknown external call %r" % action)

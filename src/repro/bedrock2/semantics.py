@@ -1,0 +1,341 @@
+"""Executable semantics of Bedrock2 (paper section 4).
+
+The interpreter is written in postcondition-passing ("CPS") style where it
+matters for fidelity: every run either terminates in a final state, raises
+`UndefinedBehavior` (out-of-bounds access, unknown variable, unknown
+function), or exhausts its fuel (`OutOfFuel`) -- the paper identifies
+nontermination with undefined behavior, and fuel makes that decision
+executable.
+
+External calls (`SInteract`) are delegated to an `ExtHandler` parameter and
+recorded in the interaction trace as `IOEvent` entries, exactly mirroring
+the paper's parameterization of the source semantics over external-call
+behavior (section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import word
+from .ast_ import (
+    Cmd,
+    ELit,
+    ELoad,
+    EOp,
+    EVar,
+    Expr,
+    Program,
+    SCall,
+    SIf,
+    SInteract,
+    SSeq,
+    SSet,
+    SSkip,
+    SStackalloc,
+    SStore,
+    SWhile,
+)
+
+
+class UndefinedBehavior(Exception):
+    """The program hit undefined behavior (the semantics has no next state)."""
+
+
+class OutOfFuel(Exception):
+    """The fuel bound was exhausted; treated as nontermination."""
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One entry of the interaction trace: an external call with its
+    arguments and results. For MMIO, `to_mmio_triple` renders it in the
+    paper's ("ld"/"st", addr, value) format."""
+
+    action: str
+    args: Tuple[int, ...]
+    rets: Tuple[int, ...]
+
+    def to_mmio_triple(self) -> Tuple[str, int, int]:
+        if self.action == "MMIOREAD":
+            return ("ld", self.args[0], self.rets[0])
+        if self.action == "MMIOWRITE":
+            return ("st", self.args[0], self.args[1])
+        raise ValueError("not an MMIO event: %r" % (self,))
+
+
+def to_mmio_triples(trace: Sequence[IOEvent]) -> List[Tuple[str, int, int]]:
+    return [event.to_mmio_triple() for event in trace]
+
+
+class Memory:
+    """A flat, byte-addressed, *partial* memory.
+
+    Addresses not in the map are not owned by the program; touching them is
+    undefined behavior (like Bedrock2's map-based memory). Multi-byte
+    accesses are little-endian, as on RISC-V.
+    """
+
+    __slots__ = ("_bytes",)
+
+    def __init__(self, contents: Optional[Dict[int, int]] = None):
+        self._bytes: Dict[int, int] = dict(contents) if contents else {}
+
+    @classmethod
+    def from_regions(cls, regions: Sequence[Tuple[int, bytes]]) -> "Memory":
+        mem = cls()
+        for base, data in regions:
+            for i, b in enumerate(data):
+                mem._bytes[word.add(base, i)] = b
+        return mem
+
+    def owns(self, addr: int, nbytes: int = 1) -> bool:
+        return all(word.add(addr, i) in self._bytes for i in range(nbytes))
+
+    def load(self, addr: int, nbytes: int) -> int:
+        value = 0
+        for i in range(nbytes):
+            a = word.add(addr, i)
+            if a not in self._bytes:
+                raise UndefinedBehavior("load of unowned address 0x%x" % a)
+            value |= self._bytes[a] << (8 * i)
+        return value
+
+    def store(self, addr: int, nbytes: int, value: int) -> None:
+        for i in range(nbytes):
+            a = word.add(addr, i)
+            if a not in self._bytes:
+                raise UndefinedBehavior("store to unowned address 0x%x" % a)
+        for i in range(nbytes):
+            self._bytes[word.add(addr, i)] = (value >> (8 * i)) & 0xFF
+    def add_region(self, base: int, data: bytes) -> None:
+        for i, b in enumerate(data):
+            a = word.add(base, i)
+            if a in self._bytes:
+                raise ValueError("region overlap at 0x%x" % a)
+            self._bytes[a] = b
+
+    def remove_region(self, base: int, nbytes: int) -> bytes:
+        out = bytearray()
+        for i in range(nbytes):
+            a = word.add(base, i)
+            if a not in self._bytes:
+                raise UndefinedBehavior("stackalloc region lost byte 0x%x" % a)
+            out.append(self._bytes.pop(a))
+        return bytes(out)
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._bytes)
+
+    def __len__(self) -> int:
+        return len(self._bytes)
+
+
+class ExtHandler:
+    """Semantics of external calls -- the language parameter of section 6.1.
+
+    Subclasses implement `call`; the default rejects everything, modeling a
+    platform with no I/O."""
+
+    def call(self, action: str, args: Tuple[int, ...],
+             mem: Memory) -> Tuple[int, ...]:
+        raise UndefinedBehavior("no external call %r on this platform" % action)
+
+
+class MMIOExtHandler(ExtHandler):
+    """MMIO instantiation: MMIOREAD/MMIOWRITE against a device bus.
+
+    ``bus`` must expose ``read(addr) -> value`` and ``write(addr, value)``
+    plus ``is_mmio(addr) -> bool`` (see `repro.platform.bus`). Calls outside
+    the MMIO range are undefined behavior, as required by the paper's
+    external-call specification."""
+
+    def __init__(self, bus):
+        self.bus = bus
+
+    def call(self, action, args, mem):
+        if action == "MMIOREAD":
+            (addr,) = args
+            if not self.bus.is_mmio(addr):
+                raise UndefinedBehavior("MMIOREAD outside MMIO range: 0x%x" % addr)
+            return (self.bus.read(addr) & word.MASK,)
+        if action == "MMIOWRITE":
+            addr, value = args
+            if not self.bus.is_mmio(addr):
+                raise UndefinedBehavior("MMIOWRITE outside MMIO range: 0x%x" % addr)
+            self.bus.write(addr, value)
+            return ()
+        raise UndefinedBehavior("unknown external call %r" % action)
+
+
+_BINOP_FN: Dict[str, Callable[[int, int], int]] = {
+    "add": word.add, "sub": word.sub, "mul": word.mul, "mulhuu": word.mulhuu,
+    "divu": word.divu, "remu": word.remu, "and": word.and_, "or": word.or_,
+    "xor": word.xor, "sru": word.srl, "slu": word.sll, "srs": word.sra,
+    "lts": word.lts, "ltu": word.ltu, "eq": word.eq,
+}
+
+
+class State:
+    """Mutable interpreter state: trace, memory, locals."""
+
+    __slots__ = ("trace", "mem", "locals")
+
+    def __init__(self, mem: Memory, locals_: Optional[Dict[str, int]] = None,
+                 trace: Optional[List[IOEvent]] = None):
+        self.trace: List[IOEvent] = trace if trace is not None else []
+        self.mem = mem
+        self.locals: Dict[str, int] = dict(locals_) if locals_ else {}
+
+
+class Interpreter:
+    """Big-step interpreter, parameterized by external-call semantics.
+
+    ``stack_base`` simulates the internal nondeterminism of `SStackalloc`:
+    addresses are drawn from a region that callers may vary to check that
+    programs do not depend on the allocation address.
+    """
+
+    def __init__(self, program: Program, ext: Optional[ExtHandler] = None,
+                 fuel: int = 10_000_000, stack_base: int = 0x8000_0000):
+        self.program = program
+        self.ext = ext if ext is not None else ExtHandler()
+        self.fuel = fuel
+        self.stack_base = stack_base
+        self._stack_off = 0
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval_expr(self, e: Expr, state: State) -> int:
+        if isinstance(e, ELit):
+            return e.value
+        if isinstance(e, EVar):
+            if e.name not in state.locals:
+                raise UndefinedBehavior("unbound variable %r" % e.name)
+            return state.locals[e.name]
+        if isinstance(e, ELoad):
+            addr = self.eval_expr(e.addr, state)
+            if addr % e.size != 0:
+                raise UndefinedBehavior(
+                    "misaligned %d-byte load at 0x%x" % (e.size, addr))
+            return state.mem.load(addr, e.size)
+        if isinstance(e, EOp):
+            lhs = self.eval_expr(e.lhs, state)
+            rhs = self.eval_expr(e.rhs, state)
+            return _BINOP_FN[e.op](lhs, rhs)
+        raise TypeError("not an expression: %r" % (e,))
+
+    # -- commands ------------------------------------------------------------
+
+    def exec_cmd(self, c: Cmd, state: State) -> None:
+        self.fuel -= 1
+        if self.fuel <= 0:
+            raise OutOfFuel()
+        if isinstance(c, SSkip):
+            return
+        if isinstance(c, SSet):
+            state.locals[c.name] = self.eval_expr(c.value, state)
+            return
+        if isinstance(c, SStore):
+            addr = self.eval_expr(c.addr, state)
+            value = self.eval_expr(c.value, state)
+            if addr % c.size != 0:
+                raise UndefinedBehavior(
+                    "misaligned %d-byte store at 0x%x" % (c.size, addr))
+            state.mem.store(addr, c.size, value)
+            return
+        if isinstance(c, SStackalloc):
+            if c.nbytes % 4 != 0:
+                raise UndefinedBehavior("stackalloc size not word-aligned")
+            base = word.add(self.stack_base, self._stack_off)
+            self._stack_off += c.nbytes
+            state.mem.add_region(base, bytes(c.nbytes))
+            # As in Bedrock2, the binding survives the block (locals are
+            # function-scoped); only the memory region is reclaimed.
+            state.locals[c.name] = base
+            try:
+                self.exec_cmd(c.body, state)
+            finally:
+                state.mem.remove_region(base, c.nbytes)
+                self._stack_off -= c.nbytes
+            return
+        if isinstance(c, SIf):
+            if self.eval_expr(c.cond, state) != 0:
+                self.exec_cmd(c.then_, state)
+            else:
+                self.exec_cmd(c.else_, state)
+            return
+        if isinstance(c, SWhile):
+            while self.eval_expr(c.cond, state) != 0:
+                self.exec_cmd(c.body, state)
+                self.fuel -= 1
+                if self.fuel <= 0:
+                    raise OutOfFuel()
+            return
+        if isinstance(c, SSeq):
+            # Walk the SSeq spine iteratively (long blocks must not recurse
+            # once per statement).
+            node = c
+            while isinstance(node, SSeq):
+                self.exec_cmd(node.first, state)
+                node = node.rest
+            self.exec_cmd(node, state)
+            return
+        if isinstance(c, SCall):
+            self._call_function(c, state)
+            return
+        if isinstance(c, SInteract):
+            args = tuple(self.eval_expr(a, state) for a in c.args)
+            rets = self.ext.call(c.action, args, state.mem)
+            if len(rets) != len(c.binds):
+                raise UndefinedBehavior(
+                    "external call %r returned %d values, expected %d"
+                    % (c.action, len(rets), len(c.binds)))
+            state.trace.append(IOEvent(c.action, args, tuple(rets)))
+            for name, value in zip(c.binds, rets):
+                state.locals[name] = value & word.MASK
+            return
+        raise TypeError("not a command: %r" % (c,))
+
+    def _call_function(self, c: SCall, state: State) -> None:
+        fn = self.program.get(c.func)
+        if fn is None:
+            raise UndefinedBehavior("call to unknown function %r" % c.func)
+        if len(c.args) != len(fn.params):
+            raise UndefinedBehavior("arity mismatch calling %r" % c.func)
+        if len(c.binds) != len(fn.rets):
+            raise UndefinedBehavior("return-arity mismatch calling %r" % c.func)
+        args = [self.eval_expr(a, state) for a in c.args]
+        callee = State(state.mem, dict(zip(fn.params, args)), state.trace)
+        self.exec_cmd(fn.body, callee)
+        for name in fn.rets:
+            if name not in callee.locals:
+                raise UndefinedBehavior(
+                    "function %r did not define return variable %r"
+                    % (c.func, name))
+        for bind, ret in zip(c.binds, fn.rets):
+            state.locals[bind] = callee.locals[ret]
+
+
+def run_function(program: Program, fname: str, args: Sequence[int],
+                 mem: Optional[Memory] = None, ext: Optional[ExtHandler] = None,
+                 fuel: int = 10_000_000,
+                 stack_base: int = 0x8000_0000) -> Tuple[Tuple[int, ...], State]:
+    """Run ``program[fname]`` on concrete ``args``.
+
+    Returns ``(return_values, final_state)``; the final state carries the
+    I/O trace and memory."""
+    fn = program[fname]
+    if len(args) != len(fn.params):
+        raise ValueError("expected %d args, got %d" % (len(fn.params), len(args)))
+    state = State(mem if mem is not None else Memory(),
+                  dict(zip(fn.params, (a & word.MASK for a in args))))
+    interp = Interpreter(program, ext=ext, fuel=fuel, stack_base=stack_base)
+    interp.exec_cmd(fn.body, state)
+    rets = []
+    for name in fn.rets:
+        if name not in state.locals:
+            raise UndefinedBehavior("missing return variable %r" % name)
+        rets.append(state.locals[name])
+    return tuple(rets), state

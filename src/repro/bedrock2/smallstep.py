@@ -1,0 +1,201 @@
+"""Traditional small-step operational semantics for Bedrock2.
+
+Section 5.8 of the paper proves that the CPS semantics agrees with standard
+small-step semantics "to make sure our top-level theorem does not depend on
+this semantics that is not (yet) well-established". We reproduce the same
+hedge: this module is an independent implementation of Bedrock2 as a
+small-step transition system, and `tests/test_bedrock2_agreement.py` checks
+it against the big-step interpreter on a program corpus plus
+hypothesis-generated programs.
+
+A configuration is ``(continuation stack, state)``; one `step` rewrites the
+top of the continuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from . import word
+from .ast_ import (
+    Cmd,
+    Program,
+    SCall,
+    SIf,
+    SInteract,
+    SSeq,
+    SSet,
+    SSkip,
+    SStackalloc,
+    SStore,
+    SWhile,
+)
+from .semantics import (
+    ExtHandler,
+    Interpreter,
+    IOEvent,
+    Memory,
+    State,
+    UndefinedBehavior,
+)
+
+
+@dataclass
+class KCmd:
+    """Continuation frame: execute a command."""
+
+    cmd: Cmd
+
+
+@dataclass
+class KPopStack:
+    """Continuation frame: deallocate a stackalloc region. The name binding
+    survives (Bedrock2 locals are function-scoped)."""
+
+    base: int
+    nbytes: int
+
+
+@dataclass
+class KPopCall:
+    """Continuation frame: return from a function call, copying the callee's
+    return variables into the caller's binders."""
+
+    binds: Tuple[str, ...]
+    rets: Tuple[str, ...]
+    caller_locals: dict
+
+
+class SmallStepMachine:
+    """A Bedrock2 configuration that can be stepped one rule at a time."""
+
+    def __init__(self, program: Program, cmd: Cmd, state: State,
+                 ext: Optional[ExtHandler] = None,
+                 stack_base: int = 0x8000_0000):
+        self.program = program
+        self.state = state
+        self.stack: List[object] = [KCmd(cmd)]
+        self.ext = ext if ext is not None else ExtHandler()
+        self.stack_base = stack_base
+        self._stack_off = 0
+        # Reuse the interpreter's expression evaluator: expressions are pure
+        # and total-or-UB, so sharing it cannot hide a divergence in command
+        # sequencing, which is what this semantics independently re-derives.
+        self._expr = Interpreter(program, ext=self.ext).eval_expr
+
+    def done(self) -> bool:
+        return not self.stack
+
+    def step(self) -> None:
+        """Perform one small step; raises UndefinedBehavior exactly when the
+        big-step semantics would."""
+        if self.done():
+            raise RuntimeError("stepping a finished machine")
+        frame = self.stack.pop()
+        state = self.state
+        if isinstance(frame, KPopStack):
+            state.mem.remove_region(frame.base, frame.nbytes)
+            self._stack_off -= frame.nbytes
+            return
+        if isinstance(frame, KPopCall):
+            callee_locals = state.locals
+            for name in frame.rets:
+                if name not in callee_locals:
+                    raise UndefinedBehavior("missing return variable %r" % name)
+            restored = frame.caller_locals
+            for bind, ret in zip(frame.binds, frame.rets):
+                restored[bind] = callee_locals[ret]
+            state.locals = restored
+            return
+        assert isinstance(frame, KCmd)
+        c = frame.cmd
+        if isinstance(c, SSkip):
+            return
+        if isinstance(c, SSet):
+            state.locals[c.name] = self._expr(c.value, state)
+            return
+        if isinstance(c, SStore):
+            addr = self._expr(c.addr, state)
+            value = self._expr(c.value, state)
+            if addr % c.size != 0:
+                raise UndefinedBehavior(
+                    "misaligned %d-byte store at 0x%x" % (c.size, addr))
+            state.mem.store(addr, c.size, value)
+            return
+        if isinstance(c, SSeq):
+            self.stack.append(KCmd(c.rest))
+            self.stack.append(KCmd(c.first))
+            return
+        if isinstance(c, SIf):
+            if self._expr(c.cond, state) != 0:
+                self.stack.append(KCmd(c.then_))
+            else:
+                self.stack.append(KCmd(c.else_))
+            return
+        if isinstance(c, SWhile):
+            if self._expr(c.cond, state) != 0:
+                self.stack.append(KCmd(c))
+                self.stack.append(KCmd(c.body))
+            return
+        if isinstance(c, SStackalloc):
+            if c.nbytes % 4 != 0:
+                raise UndefinedBehavior("stackalloc size not word-aligned")
+            base = word.add(self.stack_base, self._stack_off)
+            self._stack_off += c.nbytes
+            state.mem.add_region(base, bytes(c.nbytes))
+            state.locals[c.name] = base
+            self.stack.append(KPopStack(base, c.nbytes))
+            self.stack.append(KCmd(c.body))
+            return
+        if isinstance(c, SCall):
+            fn = self.program.get(c.func)
+            if fn is None:
+                raise UndefinedBehavior("call to unknown function %r" % c.func)
+            if len(c.args) != len(fn.params) or len(c.binds) != len(fn.rets):
+                raise UndefinedBehavior("arity mismatch calling %r" % c.func)
+            args = [self._expr(a, state) for a in c.args]
+            self.stack.append(KPopCall(c.binds, fn.rets, state.locals))
+            state.locals = dict(zip(fn.params, args))
+            self.stack.append(KCmd(fn.body))
+            return
+        if isinstance(c, SInteract):
+            args = tuple(self._expr(a, state) for a in c.args)
+            rets = self.ext.call(c.action, args, state.mem)
+            if len(rets) != len(c.binds):
+                raise UndefinedBehavior("external call arity mismatch")
+            state.trace.append(IOEvent(c.action, args, tuple(rets)))
+            for name, value in zip(c.binds, rets):
+                state.locals[name] = value & word.MASK
+            return
+        raise TypeError("not a command: %r" % (c,))
+
+    def run(self, max_steps: int = 10_000_000) -> int:
+        """Step to completion; returns the number of steps taken."""
+        steps = 0
+        while not self.done():
+            if steps >= max_steps:
+                raise RuntimeError("small-step fuel exhausted")
+            self.step()
+            steps += 1
+        return steps
+
+
+def run_function_smallstep(program: Program, fname: str, args,
+                           mem: Optional[Memory] = None,
+                           ext: Optional[ExtHandler] = None,
+                           stack_base: int = 0x8000_0000,
+                           max_steps: int = 10_000_000):
+    """Small-step analogue of `repro.bedrock2.semantics.run_function`."""
+    fn = program[fname]
+    state = State(mem if mem is not None else Memory(),
+                  dict(zip(fn.params, (a & word.MASK for a in args))))
+    machine = SmallStepMachine(program, fn.body, state, ext=ext,
+                               stack_base=stack_base)
+    machine.run(max_steps=max_steps)
+    rets = []
+    for name in fn.rets:
+        if name not in state.locals:
+            raise UndefinedBehavior("missing return variable %r" % name)
+        rets.append(state.locals[name])
+    return tuple(rets), state

@@ -1,0 +1,626 @@
+"""The Bedrock2 program logic (paper sections 4.1 and 6.1).
+
+This is the verification-condition generator: a symbolic executor in
+postcondition-passing style. Where the paper's ``vcgen`` computes a weakest
+precondition that is then proven in Coq, ours walks the program with
+symbolic words (`repro.logic.terms`), emits each side condition as a
+quantifier-free bitvector formula, and *decides* it with the portfolio
+solver -- failures carry concrete countermodels.
+
+Supported reasoning, mirroring the paper's usage:
+
+* full functional verification of straight-line and branching scalar code;
+* loops via `LoopSpec` (invariant + strictly decreasing unsigned measure --
+  the paper proves *total* correctness, hence the timeout counters in the
+  drivers) or via bounded unrolling when the condition resolves concretely;
+* modular function calls via `Contract`s (callee verified separately; call
+  site proves the precondition and assumes the postcondition), the paper's
+  central modularity mechanism;
+* external calls via a symbolic external-call specification (`vcextern` in
+  the paper), instantiated for MMIO in `repro.bedrock2.extspec`;
+* memory via named regions (separation-logic flavor): concrete-offset
+  accesses track byte contents exactly; symbolic-offset accesses are proven
+  in bounds and conservatively havoc contents (sound for safety and trace
+  properties; see DESIGN.md "Known deviations").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..logic import solver as S
+from ..logic import terms as T
+from .ast_ import (
+    Cmd,
+    ELit,
+    ELoad,
+    EOp,
+    EVar,
+    Expr,
+    Program,
+    SCall,
+    SIf,
+    SInteract,
+    SSeq,
+    SSet,
+    SSkip,
+    SStackalloc,
+    SStore,
+    SWhile,
+)
+
+
+class VerificationError(Exception):
+    """A side condition failed, with location context and countermodel."""
+
+    def __init__(self, context: str, detail: str,
+                 model: Optional[Dict[str, int]] = None):
+        self.context = context
+        self.detail = detail
+        self.model = model
+        super().__init__("%s: %s%s" % (
+            context, detail, ("\n  countermodel: %r" % (model,)) if model else ""))
+
+
+@dataclass(frozen=True)
+class SymEvent:
+    """A symbolic interaction-trace entry."""
+
+    action: str
+    args: Tuple[T.Term, ...]
+    rets: Tuple[T.Term, ...]
+
+
+@dataclass(frozen=True)
+class TraceHole:
+    """An abstract trace segment produced by a havocked loop or a callee
+    contract: "zero or more events, each satisfying the tagged shape".
+    Trace predicates over symbolic traces interpret holes by tag."""
+
+    tag: str
+
+
+@dataclass
+class Region:
+    """A named, owned byte region at a (usually symbolic) base address.
+
+    ``contents`` is a list of byte terms when precisely tracked, or ``None``
+    after a conservative havoc."""
+
+    name: str
+    base: T.Term
+    size: int
+    contents: Optional[List[T.Term]]
+
+    def havoc(self, fresh: Callable[[str, int], T.Term]) -> None:
+        self.contents = None
+
+    def byte(self, offset: int, fresh: Callable[[str, int], T.Term]) -> T.Term:
+        if self.contents is None:
+            # Unknown contents: each read sees an arbitrary byte.
+            return fresh("%s_b%d" % (self.name, offset), 8)
+        return self.contents[offset]
+
+
+@dataclass
+class LoopSpec:
+    """Loop annotation for the program logic.
+
+    ``invariant(state) -> Term`` must hold at every loop head;
+    ``measure(state) -> Term`` (unsigned word) must strictly decrease on
+    every iteration (total correctness, as in the paper);
+    ``modified`` lists havocked locals (inferred from the AST if None);
+    ``modified_regions`` lists memory regions the body may write;
+    ``event_filter(event, vc, state)`` is an obligation every event emitted
+    inside the loop must satisfy -- the loop's trace contribution becomes a
+    `TraceHole` whose tag promises exactly this shape;
+    ``tag`` names the hole."""
+
+    invariant: Callable
+    measure: Optional[Callable] = None
+    modified: Optional[Sequence[str]] = None
+    modified_regions: Sequence[str] = ()
+    event_filter: Optional[Callable] = None
+    tag: str = "loop"
+
+
+@dataclass
+class Contract:
+    """A function contract for modular verification (section 6.1).
+
+    ``pre(vc, args, state)`` proves obligations at the call site;
+    ``rets`` is the number of returned values (fresh symbols);
+    ``post(vc, args, rets, state)`` assumes facts about the results;
+    ``trace_effect(args, rets) -> list`` of SymEvent/TraceHole appended to
+    the trace (the callee's visible I/O summary);
+    ``modified_regions``: caller regions conservatively havocked."""
+
+    name: str
+    pre: Optional[Callable] = None
+    post: Optional[Callable] = None
+    trace_effect: Optional[Callable] = None
+    modified_regions: Sequence[str] = ()
+
+
+class SymState:
+    """One symbolic execution state (a conjunction of path facts plus a
+    symbolic store, memory, and trace)."""
+
+    __slots__ = ("locals", "path", "trace", "regions")
+
+    def __init__(self):
+        self.locals: Dict[str, T.Term] = {}
+        self.path: List[T.Term] = []
+        self.trace: List[object] = []
+        self.regions: Dict[str, Region] = {}
+
+    def copy(self) -> "SymState":
+        other = SymState()
+        other.locals = dict(self.locals)
+        other.path = list(self.path)
+        other.trace = list(self.trace)
+        other.regions = {
+            name: Region(r.name, r.base, r.size,
+                         list(r.contents) if r.contents is not None else None)
+            for name, r in self.regions.items()
+        }
+        return other
+
+    def assume(self, fact: T.Term) -> None:
+        if fact is not T.TRUE:
+            self.path.append(fact)
+
+    def infeasible(self) -> bool:
+        return T.and_(*self.path) is T.FALSE
+
+
+class VC:
+    """The verification-condition engine shared by a whole run: fresh-name
+    supply, obligation discharge, and statistics."""
+
+    def __init__(self, max_conflicts: int = 2_000_000):
+        self._counter = itertools.count()
+        self.max_conflicts = max_conflicts
+        self.obligations_proved = 0
+        self.assumptions_made = 0
+
+    def fresh(self, hint: str = "v", width: int = 32) -> T.Term:
+        name = "%s!%d" % (hint, next(self._counter))
+        if width == 0:
+            return T.bool_var(name)
+        return T.var(name, width)
+
+    def prove(self, state: SymState, goal: T.Term, context: str) -> None:
+        """Discharge an obligation under the current path condition."""
+        result = S.check_valid(goal, hypotheses=state.path,
+                               max_conflicts=self.max_conflicts)
+        if not result.valid:
+            raise VerificationError(context, "cannot prove %r" % (goal,),
+                                    result.model)
+        self.obligations_proved += 1
+
+    def feasible(self, state: SymState) -> bool:
+        """Cheap path-feasibility check (used to prune dead branches)."""
+        conj = T.and_(*state.path)
+        if conj is T.FALSE:
+            return False
+        return True
+
+
+class SymExec:
+    """Symbolic executor for Bedrock2 commands.
+
+    `run` explores every feasible path (branching duplicates the state) and
+    invokes ``on_exit(state)`` at each normal exit. Loop and call handling
+    follow the rules documented on `LoopSpec` and `Contract`.
+    """
+
+    def __init__(self, program: Program, vc: VC, ext_spec,
+                 contracts: Optional[Dict[str, Contract]] = None,
+                 unroll_limit: int = 64, max_paths: int = 4096):
+        self.program = program
+        self.vc = vc
+        self.ext_spec = ext_spec
+        self.contracts = contracts or {}
+        self.unroll_limit = unroll_limit
+        self.max_paths = max_paths
+        self._paths_done = 0
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval_expr(self, e: Expr, state: SymState, context: str) -> T.Term:
+        if isinstance(e, ELit):
+            return T.const(e.value)
+        if isinstance(e, EVar):
+            if e.name not in state.locals:
+                raise VerificationError(context, "unbound variable %r" % e.name)
+            return state.locals[e.name]
+        if isinstance(e, ELoad):
+            addr = self.eval_expr(e.addr, state, context)
+            return self._load(state, addr, e.size, context)
+        if isinstance(e, EOp):
+            lhs = self.eval_expr(e.lhs, state, context)
+            rhs = self.eval_expr(e.rhs, state, context)
+            return _sym_binop(e.op, lhs, rhs)
+        raise TypeError("not an expression: %r" % (e,))
+
+    # -- memory --------------------------------------------------------------
+
+    def _resolve(self, state: SymState, addr: T.Term, nbytes: int,
+                 context: str):
+        """Find the region owning [addr, addr+nbytes): returns
+        (region, concrete_offset or None, offset_term)."""
+        from ..logic.simplify import normalize_bv
+
+        for region in state.regions.values():
+            offset = normalize_bv(T.sub(addr, region.base))
+            if offset.is_const():
+                if offset.value + nbytes <= region.size:
+                    return region, offset.value, offset
+                continue
+            # Symbolic offset: accept if provably in bounds.
+            in_bounds = T.ule(offset, T.const(region.size - nbytes))
+            result = S.check_valid(in_bounds, hypotheses=state.path,
+                                   max_conflicts=self.vc.max_conflicts)
+            if result.valid:
+                self.vc.obligations_proved += 1
+                return region, None, offset
+        raise VerificationError(
+            context,
+            "cannot prove %d-byte access at %r lies within an owned region"
+            % (nbytes, addr))
+
+    def _check_aligned(self, state: SymState, addr: T.Term, nbytes: int,
+                       context: str) -> None:
+        if nbytes > 1:
+            goal = T.eq(T.band(addr, T.const(nbytes - 1)), T.const(0))
+            self.vc.prove(state, goal, context + "/aligned")
+
+    def _load(self, state: SymState, addr: T.Term, nbytes: int,
+              context: str) -> T.Term:
+        self._check_aligned(state, addr, nbytes, context)
+        region, concrete, _ = self._resolve(state, addr, nbytes, context)
+        byte_terms = []
+        for i in range(nbytes):
+            if concrete is not None and region.contents is not None:
+                byte_terms.append(region.contents[concrete + i])
+            else:
+                byte_terms.append(self.vc.fresh("%s_ld" % region.name, 8))
+        value = byte_terms[0]
+        for b in byte_terms[1:]:
+            value = T.concat(b, value)
+        return T.zext(value, 32)
+
+    def _store(self, state: SymState, addr: T.Term, nbytes: int,
+               value: T.Term, context: str) -> None:
+        self._check_aligned(state, addr, nbytes, context)
+        region, concrete, _ = self._resolve(state, addr, nbytes, context)
+        if concrete is not None and region.contents is not None:
+            for i in range(nbytes):
+                region.contents[concrete + i] = T.extract(value, 8 * i + 7, 8 * i)
+        else:
+            # Symbolic offset (or already-abstract region): contents unknown.
+            region.havoc(self.vc.fresh)
+
+    # -- commands ------------------------------------------------------------
+
+    def run(self, cmd: Cmd, state: SymState, on_exit: Callable[[SymState], None],
+            context: str = "") -> None:
+        self._exec(cmd, state, on_exit, context)
+
+    def _exec(self, c: Cmd, state: SymState,
+              k: Callable[[SymState], None], ctx: str) -> None:
+        if isinstance(c, SSkip):
+            k(state)
+            return
+        if isinstance(c, SSet):
+            state.locals[c.name] = self.eval_expr(c.value, state, ctx)
+            k(state)
+            return
+        if isinstance(c, SStore):
+            addr = self.eval_expr(c.addr, state, ctx)
+            value = self.eval_expr(c.value, state, ctx)
+            self._store(state, addr, c.size, value, ctx + "/store")
+            k(state)
+            return
+        if isinstance(c, SSeq):
+            self._exec(c.first, state, lambda s: self._exec(c.rest, s, k, ctx), ctx)
+            return
+        if isinstance(c, SIf):
+            cond = self.eval_expr(c.cond, state, ctx)
+            taken = T.ne(cond, T.const(0))
+            if taken is T.TRUE:
+                self._exec(c.then_, state, k, ctx + "/then")
+                return
+            if taken is T.FALSE:
+                self._exec(c.else_, state, k, ctx + "/else")
+                return
+            then_state = state.copy()
+            then_state.assume(taken)
+            if self.vc.feasible(then_state) and self._branch_feasible(then_state):
+                self._exec(c.then_, then_state, k, ctx + "/then")
+            else_state = state
+            else_state.assume(T.not_(taken))
+            if self.vc.feasible(else_state) and self._branch_feasible(else_state):
+                self._exec(c.else_, else_state, k, ctx + "/else")
+            return
+        if isinstance(c, SWhile):
+            self._exec_while(c, state, k, ctx)
+            return
+        if isinstance(c, SStackalloc):
+            self._exec_stackalloc(c, state, k, ctx)
+            return
+        if isinstance(c, SCall):
+            self._exec_call(c, state, k, ctx)
+            return
+        if isinstance(c, SInteract):
+            args = tuple(self.eval_expr(a, state, ctx) for a in c.args)
+            rets = self.ext_spec.apply(self.vc, state, c.action, args,
+                                       ctx + "/" + c.action)
+            if len(rets) != len(c.binds):
+                raise VerificationError(ctx, "external call arity mismatch")
+            for name, value in zip(c.binds, rets):
+                state.locals[name] = value
+            k(state)
+            return
+        raise TypeError("not a command: %r" % (c,))
+
+    def _branch_feasible(self, state: SymState) -> bool:
+        """SAT-check the path; prunes provably dead branches so that
+        verification of e.g. error-handling ladders stays linear."""
+        result = S.is_satisfiable(T.and_(*state.path),
+                                  max_conflicts=self.vc.max_conflicts)
+        return result.valid
+
+    # -- loops ----------------------------------------------------------------
+
+    def _exec_while(self, c: SWhile, state: SymState,
+                    k: Callable[[SymState], None], ctx: str) -> None:
+        spec = c.spec
+        if spec is None:
+            self._unroll_while(c, state, k, ctx, self.unroll_limit)
+            return
+        if not isinstance(spec, LoopSpec):
+            raise VerificationError(ctx, "loop spec is not a LoopSpec")
+        ctx = ctx + "/while[%s]" % spec.tag
+        # 1. Invariant holds on entry.
+        self.vc.prove(state, spec.invariant(state), ctx + "/inv-init")
+        # 2. Havoc the modified state; assume the invariant.
+        modified = spec.modified
+        if modified is None:
+            from .ast_ import modified_vars
+            modified = sorted(modified_vars(c.body))
+        head = state.copy()
+        for name in modified:
+            head.locals[name] = self.vc.fresh(name)
+        for rname in spec.modified_regions:
+            if rname in head.regions:
+                head.regions[rname].havoc(self.vc.fresh)
+        head.trace = head.trace + [TraceHole(spec.tag)]
+        head.assume(spec.invariant(head))
+        # 3. One arbitrary iteration re-establishes the invariant and
+        #    decreases the measure.
+        body_state = head.copy()
+        cond = self.eval_expr(c.cond, body_state, ctx)
+        taken = T.ne(cond, T.const(0))
+        body_state.assume(taken)
+        if self.vc.feasible(body_state) and self._branch_feasible(body_state):
+            measure_before = (spec.measure(body_state)
+                              if spec.measure is not None else None)
+            trace_mark = len(body_state.trace)
+
+            def at_backedge(s: SymState) -> None:
+                # Events emitted this iteration must satisfy the filter.
+                new_events = s.trace[trace_mark:]
+                for event in new_events:
+                    if isinstance(event, TraceHole):
+                        continue  # inner loop summarized by its own spec
+                    if spec.event_filter is not None:
+                        spec.event_filter(self.vc, s, event, ctx + "/events")
+                self.vc.prove(s, spec.invariant(s), ctx + "/inv-preserved")
+                if measure_before is not None:
+                    self.vc.prove(s, T.ult(spec.measure(s), measure_before),
+                                  ctx + "/measure-decreases")
+
+            self._exec(c.body, body_state, at_backedge, ctx + "/body")
+        # 4. Continue after the loop from the havocked head with the
+        #    condition false.
+        exit_state = head
+        cond = self.eval_expr(c.cond, exit_state, ctx)
+        exit_state.assume(T.eq(cond, T.const(0)))
+        if self.vc.feasible(exit_state):
+            k(exit_state)
+
+    def _unroll_while(self, c: SWhile, state: SymState,
+                      k: Callable[[SymState], None], ctx: str,
+                      budget: int) -> None:
+        if budget <= 0:
+            raise VerificationError(
+                ctx, "loop did not terminate within the unroll limit; "
+                     "attach a LoopSpec")
+        cond = self.eval_expr(c.cond, state, ctx)
+        taken = T.ne(cond, T.const(0))
+        if taken is T.FALSE:
+            k(state)
+            return
+        if taken is T.TRUE:
+            self._exec(c.body, state,
+                       lambda s: self._unroll_while(c, s, k, ctx, budget - 1),
+                       ctx + "/body")
+            return
+        exit_state = state.copy()
+        exit_state.assume(T.not_(taken))
+        if self.vc.feasible(exit_state) and self._branch_feasible(exit_state):
+            k(exit_state)
+        state.assume(taken)
+        if self.vc.feasible(state) and self._branch_feasible(state):
+            self._exec(c.body, state,
+                       lambda s: self._unroll_while(c, s, k, ctx, budget - 1),
+                       ctx + "/body")
+
+    # -- allocation & calls ----------------------------------------------------
+
+    def _exec_stackalloc(self, c: SStackalloc, state: SymState,
+                         k: Callable[[SymState], None], ctx: str) -> None:
+        if c.nbytes % 4 != 0:
+            raise VerificationError(ctx, "stackalloc size not word-aligned")
+        base = self.vc.fresh("stk_%s" % c.name)
+        # The address is arbitrary but word-aligned and non-wrapping --
+        # exactly the guarantees the compiler provides.
+        state.assume(T.eq(T.band(base, T.const(3)), T.const(0)))
+        state.assume(T.ule(base, T.const(0xFFFFFFFF - c.nbytes)))
+        region_name = "stack_%s_%d" % (c.name, next(self.vc._counter))
+        region = Region(region_name, base, c.nbytes,
+                        [self.vc.fresh("%s_init" % region_name, 8)
+                         for _ in range(c.nbytes)])
+        state.regions[region_name] = region
+        state.locals[c.name] = base
+
+        def after(s: SymState) -> None:
+            s.regions.pop(region_name, None)
+            k(s)
+
+        self._exec(c.body, state, after, ctx + "/stackalloc")
+
+    def _exec_call(self, c: SCall, state: SymState,
+                   k: Callable[[SymState], None], ctx: str) -> None:
+        contract = self.contracts.get(c.func)
+        args = tuple(self.eval_expr(a, state, ctx) for a in c.args)
+        if contract is not None:
+            cctx = ctx + "/call:" + c.func
+            if contract.pre is not None:
+                contract.pre(self.vc, state, args, cctx + "/pre")
+            fn = self.program.get(c.func)
+            n_rets = len(fn.rets) if fn is not None else len(c.binds)
+            rets = tuple(self.vc.fresh("%s_ret" % c.func) for _ in range(n_rets))
+            for rname in contract.modified_regions:
+                if rname in state.regions:
+                    state.regions[rname].havoc(self.vc.fresh)
+            if contract.trace_effect is not None:
+                effect = contract.trace_effect(args, rets)
+                state.trace = state.trace + list(effect)
+            if contract.post is not None:
+                contract.post(self.vc, state, args, rets, cctx + "/post")
+            if len(rets) != len(c.binds):
+                raise VerificationError(ctx, "return-arity mismatch")
+            for name, value in zip(c.binds, rets):
+                state.locals[name] = value
+            k(state)
+            return
+        # No contract: inline the callee (whole-program fallback).
+        fn = self.program.get(c.func)
+        if fn is None:
+            raise VerificationError(ctx, "call to unknown function %r" % c.func)
+        if len(args) != len(fn.params) or len(c.binds) != len(fn.rets):
+            raise VerificationError(ctx, "arity mismatch calling %r" % c.func)
+        saved_locals = state.locals
+        state.locals = dict(zip(fn.params, args))
+
+        def after(s: SymState) -> None:
+            rets = []
+            for name in fn.rets:
+                if name not in s.locals:
+                    raise VerificationError(ctx, "missing return %r" % name)
+                rets.append(s.locals[name])
+            s.locals = dict(saved_locals)
+            for bind, value in zip(c.binds, rets):
+                s.locals[bind] = value
+            k(s)
+
+        self._exec(fn.body, state, after, ctx + "/inline:" + c.func)
+
+
+def _sym_binop(op: str, a: T.Term, b: T.Term) -> T.Term:
+    if op == "add":
+        return T.add(a, b)
+    if op == "sub":
+        return T.sub(a, b)
+    if op == "mul":
+        return T.mul(a, b)
+    if op == "mulhuu":
+        wide = T.mul(T.zext(a, 64), T.zext(b, 64))
+        return T.extract(wide, 63, 32)
+    if op == "divu":
+        return T.bv_binop("udiv", a, b)
+    if op == "remu":
+        return T.bv_binop("urem", a, b)
+    if op == "and":
+        return T.band(a, b)
+    if op == "or":
+        return T.bor(a, b)
+    if op == "xor":
+        return T.bxor(a, b)
+    if op == "sru":
+        return T.lshr(a, T.band(b, T.const(31)))
+    if op == "slu":
+        return T.shl(a, T.band(b, T.const(31)))
+    if op == "srs":
+        return T.ashr(a, T.band(b, T.const(31)))
+    if op == "lts":
+        return T.bool_to_word(T.slt(a, b))
+    if op == "ltu":
+        return T.bool_to_word(T.ult(a, b))
+    if op == "eq":
+        return T.bool_to_word(T.eq(a, b))
+    raise ValueError("unknown binop %r" % op)
+
+
+@dataclass
+class FunctionSpec:
+    """Top-level specification of a Bedrock2 function for verification.
+
+    ``pre(vc, state, args)`` sets up regions and assumptions;
+    ``post(vc, state, args, rets)`` proves the final obligations (it may
+    inspect ``state.trace``, including `TraceHole`s)."""
+
+    pre: Optional[Callable] = None
+    post: Optional[Callable] = None
+
+
+@dataclass
+class VerifyReport:
+    """Outcome summary of verifying one function."""
+
+    function: str
+    paths: int
+    obligations: int
+
+    def __str__(self):
+        return ("verified %s: %d paths, %d obligations discharged"
+                % (self.function, self.paths, self.obligations))
+
+
+def verify_function(program: Program, fname: str, spec: FunctionSpec,
+                    ext_spec, contracts: Optional[Dict[str, Contract]] = None,
+                    unroll_limit: int = 64,
+                    max_conflicts: int = 2_000_000) -> VerifyReport:
+    """Verify ``program[fname]`` against ``spec``.
+
+    Every feasible symbolic path through the body is explored; `spec.post`
+    runs at each exit. Raises `VerificationError` on any failed obligation.
+    """
+    fn = program[fname]
+    vc = VC(max_conflicts=max_conflicts)
+    state = SymState()
+    args = tuple(vc.fresh(p) for p in fn.params)
+    state.locals = dict(zip(fn.params, args))
+    if spec.pre is not None:
+        spec.pre(vc, state, args)
+    executor = SymExec(program, vc, ext_spec, contracts=contracts,
+                       unroll_limit=unroll_limit)
+    paths = [0]
+
+    def on_exit(final: SymState) -> None:
+        paths[0] += 1
+        rets = []
+        for name in fn.rets:
+            if name not in final.locals:
+                raise VerificationError(fname, "missing return variable %r" % name)
+            rets.append(final.locals[name])
+        if spec.post is not None:
+            spec.post(vc, final, args, tuple(rets))
+
+    executor.run(fn.body, state, on_exit, context=fname)
+    return VerifyReport(fname, paths[0], vc.obligations_proved)

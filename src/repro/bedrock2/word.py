@@ -1,0 +1,113 @@
+"""Concrete machine-word arithmetic shared by all executable layers.
+
+Bedrock2, the compiler IRs, the RISC-V semantics, and the Kami processors
+all compute on the same fixed-width words (Table 2 of the paper lists the
+bitwidth as a cross-stack parameter). Every function here takes and returns
+plain ints in ``[0, 2**width)``.
+"""
+
+from __future__ import annotations
+
+WIDTH = 32
+MASK = (1 << WIDTH) - 1
+MIN_SIGNED = 1 << (WIDTH - 1)
+
+
+def wrap(value: int, width: int = WIDTH) -> int:
+    return value & ((1 << width) - 1)
+
+
+def signed(value: int, width: int = WIDTH) -> int:
+    value &= (1 << width) - 1
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def add(a: int, b: int) -> int:
+    return (a + b) & MASK
+
+
+def sub(a: int, b: int) -> int:
+    return (a - b) & MASK
+
+
+def mul(a: int, b: int) -> int:
+    return (a * b) & MASK
+
+
+def mulhuu(a: int, b: int) -> int:
+    """High word of the unsigned product (Bedrock2's ``mulhuu``)."""
+    return ((a * b) >> WIDTH) & MASK
+
+
+def divu(a: int, b: int) -> int:
+    """Unsigned division with the RISC-V division-by-zero convention."""
+    if b == 0:
+        return MASK
+    return (a // b) & MASK
+
+
+def remu(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    return (a % b) & MASK
+
+
+def divs(a: int, b: int) -> int:
+    """Signed division, RISC-V conventions (div by 0 -> -1; overflow wraps)."""
+    if b == 0:
+        return MASK
+    sa, sb = signed(a), signed(b)
+    if sa == -MIN_SIGNED and sb == -1:
+        return wrap(-MIN_SIGNED)
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return wrap(q)
+
+
+def rems(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    sa, sb = signed(a), signed(b)
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return wrap(r)
+
+
+def and_(a: int, b: int) -> int:
+    return a & b
+
+
+def or_(a: int, b: int) -> int:
+    return a | b
+
+
+def xor(a: int, b: int) -> int:
+    return a ^ b
+
+
+def sll(a: int, b: int) -> int:
+    return (a << (b % WIDTH)) & MASK
+
+
+def srl(a: int, b: int) -> int:
+    return (a >> (b % WIDTH)) & MASK
+
+
+def sra(a: int, b: int) -> int:
+    return wrap(signed(a) >> (b % WIDTH))
+
+
+def ltu(a: int, b: int) -> int:
+    return 1 if a < b else 0
+
+
+def lts(a: int, b: int) -> int:
+    return 1 if signed(a) < signed(b) else 0
+
+
+def eq(a: int, b: int) -> int:
+    return 1 if a == b else 0

@@ -1,0 +1,10 @@
+"""The verified-style 3-phase Bedrock2 compiler (paper section 5.3):
+flattening, register allocation, RISC-V code generation -- plus the
+optimizing variant used as the unverified "gcc -O3" baseline of the
+performance evaluation (section 7.2.1)."""
+
+from . import codegen, flatimp, flatten, pipeline, regalloc
+from .pipeline import CompiledProgram, compile_program, run_compiled
+
+__all__ = ["flatimp", "flatten", "regalloc", "codegen", "pipeline",
+           "compile_program", "run_compiled", "CompiledProgram"]

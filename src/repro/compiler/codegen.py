@@ -1,0 +1,464 @@
+"""Compiler phase 3: FlatImp-with-registers to RISC-V (paper Figure 3).
+
+Emits position-independent RV32IM: all control transfers are pc-relative
+(``jal``/branches), so the output can be placed at any base address -- the
+property the paper's ``compiler_correct`` states. Functions follow a simple
+calling convention (arguments/results in ``a0``-``a7``, everything the
+function touches is callee-saved), stack frames are statically sized, and
+recursion is rejected so total stack usage is a static bound (the paper's
+no-out-of-memory guarantee, section 5.3).
+
+The lowering of external calls is a parameter (`ExtCallCompiler`), the
+paper's "external-calls compiler" of section 6.3; the MMIO instance turns
+``MMIOREAD``/``MMIOWRITE`` into single ``lw``/``sw`` instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..riscv import insts as I
+from .flatimp import (
+    FCall,
+    FFunction,
+    FIf,
+    FInteract,
+    FLoad,
+    FOp,
+    FProgram,
+    FSetLit,
+    FSetVar,
+    FStackalloc,
+    FStmt,
+    FStore,
+    FWhile,
+)
+from .regalloc import SCRATCH, is_spill, spill_slot
+
+SP = 2
+RA = 1
+ZERO = 0
+A0 = 10
+
+
+class CompileError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+
+@dataclass(frozen=True)
+class BranchTo:
+    """Unresolved conditional branch to a label."""
+
+    name: str
+    rs1: int
+    rs2: int
+    label: str
+
+
+@dataclass(frozen=True)
+class JumpTo:
+    """Unresolved ``jal`` to a label."""
+
+    rd: int
+    label: str
+
+
+Item = Union[I.Instr, Label, BranchTo, JumpTo]
+
+
+class ExtCallCompiler:
+    """The external-calls compiler parameter (paper section 6.3)."""
+
+    def compile_ext(self, action: str, bind_regs: Sequence[int],
+                    arg_regs: Sequence[int]) -> List[I.Instr]:
+        raise CompileError("no external-calls compiler for %r" % action)
+
+
+class MMIOExtCallCompiler(ExtCallCompiler):
+    """MMIO instance: loads and stores at the device address."""
+
+    def compile_ext(self, action, bind_regs, arg_regs):
+        if action == "MMIOREAD":
+            if len(arg_regs) != 1 or len(bind_regs) != 1:
+                raise CompileError("MMIOREAD arity")
+            return [I.load("lw", bind_regs[0], arg_regs[0], 0)]
+        if action == "MMIOWRITE":
+            if len(arg_regs) != 2 or len(bind_regs) != 0:
+                raise CompileError("MMIOWRITE arity")
+            return [I.store("sw", arg_regs[0], arg_regs[1], 0)]
+        raise CompileError("unknown external call %r" % action)
+
+
+def _alloca_sites(stmts: Sequence[FStmt], acc: List[int]) -> None:
+    for s in stmts:
+        if isinstance(s, FStackalloc):
+            acc.append(s.nbytes)
+            _alloca_sites(s.body, acc)
+        elif isinstance(s, FIf):
+            _alloca_sites(s.then_, acc)
+            _alloca_sites(s.else_, acc)
+        elif isinstance(s, FWhile):
+            _alloca_sites(s.cond_stmts, acc)
+            _alloca_sites(s.body, acc)
+
+
+def _written_regs(stmts: Sequence[FStmt], acc: set) -> None:
+    def reg_of(name: str) -> Optional[int]:
+        if name.startswith("x"):
+            return int(name[1:])
+        return None
+
+    for s in stmts:
+        if isinstance(s, (FSetLit, FSetVar, FOp, FLoad, FStackalloc)):
+            r = reg_of(s.dst)
+            if r is not None:
+                acc.add(r)
+        if isinstance(s, FStackalloc):
+            _written_regs(s.body, acc)
+        elif isinstance(s, FIf):
+            _written_regs(s.then_, acc)
+            _written_regs(s.else_, acc)
+        elif isinstance(s, FWhile):
+            _written_regs(s.cond_stmts, acc)
+            _written_regs(s.body, acc)
+        elif isinstance(s, (FCall, FInteract)):
+            for b in s.binds:
+                r = reg_of(b)
+                if r is not None:
+                    acc.add(r)
+
+
+class FunctionCompiler:
+    """Compiles one FlatImp-with-registers function to labeled items."""
+
+    def __init__(self, fn: FFunction, ext_compiler: ExtCallCompiler,
+                 num_spills: int):
+        self.fn = fn
+        self.ext_compiler = ext_compiler
+        self.num_spills = num_spills
+        self.items: List[Item] = []
+        self._label_counter = 0
+        sites: List[int] = []
+        _alloca_sites(fn.body, sites)
+        self._alloca_offsets: List[int] = []
+        offset = 0
+        for size in sites:
+            self._alloca_offsets.append(offset)
+            offset += size
+        self.alloca_total = offset
+        self._alloca_cursor = 0
+        written: set = set()
+        _written_regs(fn.body, written)
+        for p in fn.params:
+            if not is_spill(p):
+                written.add(int(p[1:]))
+        self.saved_regs = sorted(r for r in written if r not in SCRATCH)
+        # Frame: [alloca][spills][saved regs][ra]
+        self.spill_base = self.alloca_total
+        self.saved_base = self.spill_base + 4 * num_spills
+        self.ra_off = self.saved_base + 4 * len(self.saved_regs)
+        frame = self.ra_off + 4
+        self.frame_size = (frame + 15) & ~15
+
+    def _fresh_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return "%s.%s.%d" % (self.fn.name, hint, self._label_counter)
+
+    def emit(self, item: Item) -> None:
+        self.items.append(item)
+
+    # -- frame access (large frames need multi-instruction addressing) ----------
+
+    def emit_load_sp(self, rd: int, offset: int) -> None:
+        """rd := mem32[sp + offset]; offset may exceed the 12-bit range
+        (rd doubles as the address scratch, which is always safe)."""
+        if -2048 <= offset < 2048:
+            self.emit(I.load("lw", rd, SP, offset))
+        else:
+            self.emit_li(rd, offset)
+            self.emit(I.r_type("add", rd, rd, SP))
+            self.emit(I.load("lw", rd, rd, 0))
+
+    def emit_store_sp(self, src: int, offset: int, addr_scratch: int) -> None:
+        """mem32[sp + offset] := src, via ``addr_scratch`` when far."""
+        if -2048 <= offset < 2048:
+            self.emit(I.store("sw", SP, src, offset))
+        else:
+            self.emit_li(addr_scratch, offset)
+            self.emit(I.r_type("add", addr_scratch, addr_scratch, SP))
+            self.emit(I.store("sw", addr_scratch, src, 0))
+
+    def emit_addi_sp_into(self, rd: int, offset: int) -> None:
+        """rd := sp + offset (stackalloc addresses in large frames)."""
+        if -2048 <= offset < 2048:
+            self.emit(I.i_type("addi", rd, SP, offset))
+        else:
+            self.emit_li(rd, offset)
+            self.emit(I.r_type("add", rd, rd, SP))
+
+    def emit_sp_adjust(self, delta: int) -> None:
+        if -2048 <= delta < 2048:
+            self.emit(I.i_type("addi", SP, SP, delta))
+        else:
+            self.emit_li(SCRATCH[2], delta)
+            self.emit(I.r_type("add", SP, SP, SCRATCH[2]))
+
+    # -- variable access -------------------------------------------------------
+
+    def _spill_off(self, name: str) -> int:
+        return self.spill_base + 4 * spill_slot(name)
+
+    def read_var(self, name: str, scratch: int) -> int:
+        """Materialize ``name`` in a register; spills load into ``scratch``."""
+        if is_spill(name):
+            self.emit_load_sp(scratch, self._spill_off(name))
+            return scratch
+        return int(name[1:])
+
+    def write_var(self, name: str) -> Tuple[int, Optional[object]]:
+        """Destination register for ``name`` plus the writeback, if spilled."""
+        if is_spill(name):
+            return SCRATCH[2], self._spill_off(name)
+        return int(name[1:]), None
+
+    def _writeback(self, post: Optional[object]) -> None:
+        # ``post`` is the frame offset to store SCRATCH[2] back to. SCRATCH
+        # operand registers are dead once the computing instruction has
+        # been emitted, so SCRATCH[1] is free for far addressing.
+        if post is not None:
+            self.emit_store_sp(SCRATCH[2], post, SCRATCH[1])
+
+    # -- helpers ---------------------------------------------------------------
+
+    def emit_li(self, rd: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        signed = value - (1 << 32) if value >= (1 << 31) else value
+        if -2048 <= signed < 2048:
+            self.emit(I.i_type("addi", rd, ZERO, signed))
+            return
+        lo = value & 0xFFF
+        if lo >= 0x800:
+            lo -= 0x1000
+        hi = ((value - lo) >> 12) & 0xFFFFF
+        self.emit(I.u_type("lui", rd, hi))
+        if lo != 0:
+            self.emit(I.i_type("addi", rd, rd, lo))
+
+    def emit_mv(self, rd: int, rs: int) -> None:
+        if rd != rs:
+            self.emit(I.i_type("addi", rd, rs, 0))
+
+    # -- statements --------------------------------------------------------------
+
+    def compile_stmts(self, stmts: Sequence[FStmt]) -> None:
+        for s in stmts:
+            self.compile_stmt(s)
+
+    def compile_stmt(self, s: FStmt) -> None:
+        if isinstance(s, FSetLit):
+            rd, post = self.write_var(s.dst)
+            self.emit_li(rd, s.value)
+            self._writeback(post)
+        elif isinstance(s, FSetVar):
+            src = self.read_var(s.src, SCRATCH[0])
+            rd, post = self.write_var(s.dst)
+            self.emit_mv(rd, src)
+            self._writeback(post)
+        elif isinstance(s, FOp):
+            self._compile_op(s)
+        elif isinstance(s, FLoad):
+            addr = self.read_var(s.addr, SCRATCH[0])
+            rd, post = self.write_var(s.dst)
+            mnemonic = {1: "lbu", 2: "lhu", 4: "lw"}[s.size]
+            self.emit(I.load(mnemonic, rd, addr, 0))
+            self._writeback(post)
+        elif isinstance(s, FStore):
+            addr = self.read_var(s.addr, SCRATCH[0])
+            value = self.read_var(s.value, SCRATCH[1])
+            mnemonic = {1: "sb", 2: "sh", 4: "sw"}[s.size]
+            self.emit(I.store(mnemonic, addr, value, 0))
+        elif isinstance(s, FStackalloc):
+            offset = self._alloca_offsets[self._alloca_cursor]
+            self._alloca_cursor += 1
+            rd, post = self.write_var(s.dst)
+            self.emit_addi_sp_into(rd, offset)
+            self._writeback(post)
+            self.compile_stmts(s.body)
+        elif isinstance(s, FIf):
+            else_label = self._fresh_label("else")
+            end_label = self._fresh_label("endif")
+            cond = self.read_var(s.cond, SCRATCH[0])
+            self.emit(BranchTo("beq", cond, ZERO, else_label))
+            self.compile_stmts(s.then_)
+            self.emit(JumpTo(ZERO, end_label))
+            self.emit(Label(else_label))
+            self.compile_stmts(s.else_)
+            self.emit(Label(end_label))
+        elif isinstance(s, FWhile):
+            head = self._fresh_label("loop")
+            exit_ = self._fresh_label("endloop")
+            self.emit(Label(head))
+            self.compile_stmts(s.cond_stmts)
+            cond = self.read_var(s.cond_var, SCRATCH[0])
+            self.emit(BranchTo("beq", cond, ZERO, exit_))
+            self.compile_stmts(s.body)
+            self.emit(JumpTo(ZERO, head))
+            self.emit(Label(exit_))
+        elif isinstance(s, FCall):
+            if len(s.args) > 8 or len(s.binds) > 8:
+                raise CompileError("too many arguments in call to %r" % s.func)
+            for i, arg in enumerate(s.args):
+                src = self.read_var(arg, SCRATCH[0])
+                self.emit_mv(A0 + i, src)
+            self.emit(JumpTo(RA, "func." + s.func))
+            for i, bind in enumerate(s.binds):
+                rd, post = self.write_var(bind)
+                self.emit_mv(rd, A0 + i)
+                self._writeback(post)
+        elif isinstance(s, FInteract):
+            arg_regs = [self.read_var(a, SCRATCH[k % 2])
+                        for k, a in enumerate(s.args)]
+            if len(arg_regs) > 2:
+                raise CompileError("external calls take at most 2 arguments")
+            bind_regs = []
+            posts = []
+            for b in s.binds:
+                rd, post = self.write_var(b)
+                bind_regs.append(rd)
+                posts.append(post)
+            for instr in self.ext_compiler.compile_ext(s.action, bind_regs,
+                                                       arg_regs):
+                self.emit(instr)
+            for post in posts:
+                self._writeback(post)
+        else:
+            raise TypeError("not a FlatImp statement: %r" % (s,))
+
+    _OP_MAP = {
+        "add": "add", "sub": "sub", "mul": "mul", "mulhuu": "mulhu",
+        "divu": "divu", "remu": "remu", "and": "and", "or": "or",
+        "xor": "xor", "sru": "srl", "slu": "sll", "srs": "sra",
+        "lts": "slt", "ltu": "sltu",
+    }
+
+    def _compile_op(self, s: FOp) -> None:
+        lhs = self.read_var(s.lhs, SCRATCH[0])
+        rhs = self.read_var(s.rhs, SCRATCH[1])
+        rd, post = self.write_var(s.dst)
+        if s.op == "eq":
+            # d = (a == b)  ~>  sub d,a,b ; sltiu d,d,1
+            self.emit(I.r_type("sub", rd, lhs, rhs))
+            self.emit(I.i_type("sltiu", rd, rd, 1))
+        else:
+            self.emit(I.r_type(self._OP_MAP[s.op], rd, lhs, rhs))
+        self._writeback(post)
+
+    # -- function wrapper --------------------------------------------------------
+
+    def compile_function(self) -> List[Item]:
+        self.emit(Label("func." + self.fn.name))
+        self.emit_sp_adjust(-self.frame_size)
+        self.emit_store_sp(RA, self.ra_off, SCRATCH[2])
+        for j, reg in enumerate(self.saved_regs):
+            self.emit_store_sp(reg, self.saved_base + 4 * j, SCRATCH[2])
+        for i, param in enumerate(self.fn.params):
+            rd, post = self.write_var(param)
+            self.emit_mv(rd, A0 + i)
+            self._writeback(post)
+        self.compile_stmts(self.fn.body)
+        for i, ret in enumerate(self.fn.rets):
+            src = self.read_var(ret, SCRATCH[0])
+            self.emit_mv(A0 + i, src)
+        for j, reg in enumerate(self.saved_regs):
+            self.emit_load_sp(reg, self.saved_base + 4 * j)
+        self.emit_load_sp(RA, self.ra_off)
+        self.emit_sp_adjust(self.frame_size)
+        self.emit(I.jalr(ZERO, RA, 0))
+        return self.items
+
+
+_BRANCH_INVERSE = {"beq": "bne", "bne": "beq", "blt": "bge", "bge": "blt",
+                   "bltu": "bgeu", "bgeu": "bltu"}
+
+
+def _compute_addresses(items: Sequence[Item], base: int) -> Dict[str, int]:
+    addresses: Dict[str, int] = {}
+    pc = base
+    for item in items:
+        if isinstance(item, Label):
+            if item.name in addresses:
+                raise CompileError("duplicate label %r" % item.name)
+            addresses[item.name] = pc
+        else:
+            pc += 4
+    return addresses
+
+
+def _relax_branches(items: Sequence[Item], base: int) -> List[Item]:
+    """Rewrite conditional branches whose targets exceed the +-4KB B-type
+    range into an inverted branch over a ``jal`` (which reaches +-1MB).
+    Iterates to a fixpoint since relaxation moves labels."""
+    work = list(items)
+    relax_counter = 0
+    for _ in range(64):
+        addresses = _compute_addresses(work, base)
+        pc = base
+        patch: Optional[Tuple[int, BranchTo]] = None
+        for idx, item in enumerate(work):
+            if isinstance(item, Label):
+                continue
+            if isinstance(item, BranchTo):
+                target = addresses.get(item.label)
+                if target is None:
+                    raise CompileError("undefined label %r" % item.label)
+                if not (-4096 <= target - pc < 4096):
+                    patch = (idx, item)
+                    break
+            pc += 4
+        if patch is None:
+            return work
+        idx, item = patch
+        relax_counter += 1
+        skip = "%s.relax.%d" % (item.label, relax_counter)
+        work[idx:idx + 1] = [
+            BranchTo(_BRANCH_INVERSE[item.name], item.rs1, item.rs2, skip),
+            JumpTo(ZERO, item.label),
+            Label(skip),
+        ]
+    raise CompileError("branch relaxation did not converge")
+
+
+def resolve_labels(items: Sequence[Item], base: int = 0) -> List[I.Instr]:
+    """Two-pass assembly with branch relaxation: compute label addresses,
+    patch branches/jumps."""
+    items = _relax_branches(items, base)
+    addresses = _compute_addresses(items, base)
+    pc = base
+    out: List[I.Instr] = []
+    pc = base
+    for item in items:
+        if isinstance(item, Label):
+            continue
+        if isinstance(item, BranchTo):
+            if item.label not in addresses:
+                raise CompileError("undefined label %r" % item.label)
+            offset = addresses[item.label] - pc
+            if not (-4096 <= offset < 4096):
+                raise CompileError("branch to %r out of range (%d)"
+                                   % (item.label, offset))
+            out.append(I.branch(item.name, item.rs1, item.rs2, offset))
+        elif isinstance(item, JumpTo):
+            if item.label not in addresses:
+                raise CompileError("undefined label %r" % item.label)
+            offset = addresses[item.label] - pc
+            out.append(I.jal(item.rd, offset))
+        else:
+            out.append(item)
+        pc += 4
+    return out

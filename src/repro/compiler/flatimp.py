@@ -1,0 +1,252 @@
+"""FlatImp: the compiler's intermediate language (paper section 5.3).
+
+FlatImp is Bedrock2 with expressions flattened: every operand is a variable
+or a literal bound by an earlier assignment. The paper's compiler has two
+FlatImp stages -- "FlatImp with variables" and, after register allocation,
+"FlatImp with registers" -- which share this syntax; only the interpretation
+of names differs (arbitrary strings vs register names ``x5``...).
+
+The executable semantics here mirrors the Bedrock2 interpreter and is used
+for per-phase differential testing of the compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bedrock2 import word
+from ..bedrock2.semantics import ExtHandler, IOEvent, Memory, UndefinedBehavior
+
+
+class FStmt:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class FSetLit(FStmt):
+    dst: str
+    value: int
+
+
+@dataclass(frozen=True)
+class FSetVar(FStmt):
+    dst: str
+    src: str
+
+
+@dataclass(frozen=True)
+class FOp(FStmt):
+    """dst = op(lhs, rhs) with variable operands."""
+
+    dst: str
+    op: str
+    lhs: str
+    rhs: str
+
+
+@dataclass(frozen=True)
+class FLoad(FStmt):
+    dst: str
+    size: int
+    addr: str
+
+
+@dataclass(frozen=True)
+class FStore(FStmt):
+    size: int
+    addr: str
+    value: str
+
+
+@dataclass(frozen=True)
+class FStackalloc(FStmt):
+    dst: str
+    nbytes: int
+    body: Tuple[FStmt, ...]
+
+
+@dataclass(frozen=True)
+class FIf(FStmt):
+    cond: str
+    then_: Tuple[FStmt, ...]
+    else_: Tuple[FStmt, ...]
+
+
+@dataclass(frozen=True)
+class FWhile(FStmt):
+    """``while: cond_stmts; if !cond_var break; body``.
+
+    The condition computation is a statement list because flattening an
+    expression produces instructions that must re-run on every iteration.
+    """
+
+    cond_stmts: Tuple[FStmt, ...]
+    cond_var: str
+    body: Tuple[FStmt, ...]
+
+
+@dataclass(frozen=True)
+class FCall(FStmt):
+    binds: Tuple[str, ...]
+    func: str
+    args: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FInteract(FStmt):
+    binds: Tuple[str, ...]
+    action: str
+    args: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FFunction:
+    name: str
+    params: Tuple[str, ...]
+    rets: Tuple[str, ...]
+    body: Tuple[FStmt, ...]
+
+
+FProgram = Dict[str, FFunction]
+
+_BINOP = {
+    "add": word.add, "sub": word.sub, "mul": word.mul, "mulhuu": word.mulhuu,
+    "divu": word.divu, "remu": word.remu, "and": word.and_, "or": word.or_,
+    "xor": word.xor, "sru": word.srl, "slu": word.sll, "srs": word.sra,
+    "lts": word.lts, "ltu": word.ltu, "eq": word.eq,
+}
+
+
+class FlatInterpreter:
+    """Reference interpreter for FlatImp, any naming regime."""
+
+    def __init__(self, program: FProgram, ext: Optional[ExtHandler] = None,
+                 fuel: int = 10_000_000, stack_base: int = 0x8000_0000):
+        self.program = program
+        self.ext = ext if ext is not None else ExtHandler()
+        self.fuel = fuel
+        self.stack_base = stack_base
+        self._stack_off = 0
+
+    def _get(self, env: Dict[str, int], name: str) -> int:
+        if name not in env:
+            raise UndefinedBehavior("unbound FlatImp variable %r" % name)
+        return env[name]
+
+    def exec_stmts(self, stmts: Sequence[FStmt], env: Dict[str, int],
+                   mem: Memory, trace: List[IOEvent]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env, mem, trace)
+
+    def exec_stmt(self, s: FStmt, env: Dict[str, int], mem: Memory,
+                  trace: List[IOEvent]) -> None:
+        self.fuel -= 1
+        if self.fuel <= 0:
+            raise UndefinedBehavior("FlatImp fuel exhausted")
+        if isinstance(s, FSetLit):
+            env[s.dst] = word.wrap(s.value)
+        elif isinstance(s, FSetVar):
+            env[s.dst] = self._get(env, s.src)
+        elif isinstance(s, FOp):
+            env[s.dst] = _BINOP[s.op](self._get(env, s.lhs), self._get(env, s.rhs))
+        elif isinstance(s, FLoad):
+            addr = self._get(env, s.addr)
+            if addr % s.size != 0:
+                raise UndefinedBehavior("misaligned FlatImp load")
+            env[s.dst] = mem.load(addr, s.size)
+        elif isinstance(s, FStore):
+            addr = self._get(env, s.addr)
+            if addr % s.size != 0:
+                raise UndefinedBehavior("misaligned FlatImp store")
+            mem.store(addr, s.size, self._get(env, s.value))
+        elif isinstance(s, FStackalloc):
+            base = word.add(self.stack_base, self._stack_off)
+            self._stack_off += s.nbytes
+            mem.add_region(base, bytes(s.nbytes))
+            env[s.dst] = base
+            try:
+                self.exec_stmts(s.body, env, mem, trace)
+            finally:
+                mem.remove_region(base, s.nbytes)
+                self._stack_off -= s.nbytes
+        elif isinstance(s, FIf):
+            if self._get(env, s.cond) != 0:
+                self.exec_stmts(s.then_, env, mem, trace)
+            else:
+                self.exec_stmts(s.else_, env, mem, trace)
+        elif isinstance(s, FWhile):
+            while True:
+                self.exec_stmts(s.cond_stmts, env, mem, trace)
+                if self._get(env, s.cond_var) == 0:
+                    break
+                self.exec_stmts(s.body, env, mem, trace)
+                self.fuel -= 1
+                if self.fuel <= 0:
+                    raise UndefinedBehavior("FlatImp fuel exhausted")
+        elif isinstance(s, FCall):
+            fn = self.program.get(s.func)
+            if fn is None:
+                raise UndefinedBehavior("unknown FlatImp function %r" % s.func)
+            callee_env = {p: self._get(env, a) for p, a in zip(fn.params, s.args)}
+            self.exec_stmts(fn.body, callee_env, mem, trace)
+            for bind, ret in zip(s.binds, fn.rets):
+                env[bind] = self._get(callee_env, ret)
+        elif isinstance(s, FInteract):
+            args = tuple(self._get(env, a) for a in s.args)
+            rets = self.ext.call(s.action, args, mem)
+            if len(rets) != len(s.binds):
+                raise UndefinedBehavior("FlatImp external call arity mismatch")
+            trace.append(IOEvent(s.action, args, tuple(rets)))
+            for bind, value in zip(s.binds, rets):
+                env[bind] = value & word.MASK
+        else:
+            raise TypeError("not a FlatImp statement: %r" % (s,))
+
+
+def run_flat_function(program: FProgram, fname: str, args,
+                      mem: Optional[Memory] = None,
+                      ext: Optional[ExtHandler] = None,
+                      fuel: int = 10_000_000,
+                      stack_base: int = 0x8000_0000):
+    """FlatImp analogue of `repro.bedrock2.semantics.run_function`."""
+    fn = program[fname]
+    env = {p: word.wrap(a) for p, a in zip(fn.params, args)}
+    mem = mem if mem is not None else Memory()
+    trace: List[IOEvent] = []
+    interp = FlatInterpreter(program, ext=ext, fuel=fuel, stack_base=stack_base)
+    interp.exec_stmts(fn.body, env, mem, trace)
+    rets = tuple(env[r] for r in fn.rets)
+    return rets, env, mem, trace
+
+
+def stmt_vars(stmts: Sequence[FStmt], acc: Optional[set] = None) -> set:
+    """All variable names occurring in a statement list."""
+    if acc is None:
+        acc = set()
+    for s in stmts:
+        if isinstance(s, FSetLit):
+            acc.add(s.dst)
+        elif isinstance(s, FSetVar):
+            acc.update((s.dst, s.src))
+        elif isinstance(s, FOp):
+            acc.update((s.dst, s.lhs, s.rhs))
+        elif isinstance(s, FLoad):
+            acc.update((s.dst, s.addr))
+        elif isinstance(s, FStore):
+            acc.update((s.addr, s.value))
+        elif isinstance(s, FStackalloc):
+            acc.add(s.dst)
+            stmt_vars(s.body, acc)
+        elif isinstance(s, FIf):
+            acc.add(s.cond)
+            stmt_vars(s.then_, acc)
+            stmt_vars(s.else_, acc)
+        elif isinstance(s, FWhile):
+            acc.add(s.cond_var)
+            stmt_vars(s.cond_stmts, acc)
+            stmt_vars(s.body, acc)
+        elif isinstance(s, (FCall, FInteract)):
+            acc.update(s.binds)
+            acc.update(s.args)
+    return acc

@@ -1,0 +1,149 @@
+"""Compiler phase 1: flattening Bedrock2 to FlatImp (paper Figure 3).
+
+Expression trees become sequences of assignments to fresh temporaries; all
+control flow survives structurally. Fresh names use a ``$`` prefix, which
+cannot appear in source programs, so user variables are never captured.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+from ..bedrock2.ast_ import (
+    Cmd,
+    ELit,
+    ELoad,
+    EOp,
+    EVar,
+    Expr,
+    Function,
+    Program,
+    SCall,
+    SIf,
+    SInteract,
+    SSeq,
+    SSet,
+    SSkip,
+    SStackalloc,
+    SStore,
+    SWhile,
+)
+from .flatimp import (
+    FCall,
+    FFunction,
+    FIf,
+    FInteract,
+    FLoad,
+    FOp,
+    FProgram,
+    FSetLit,
+    FSetVar,
+    FStackalloc,
+    FStmt,
+    FStore,
+    FWhile,
+)
+
+
+class Flattener:
+    def __init__(self):
+        self._counter = itertools.count()
+
+    def fresh(self) -> str:
+        return "$t%d" % next(self._counter)
+
+    # -- expressions -----------------------------------------------------------
+
+    def flatten_expr(self, e: Expr) -> Tuple[List[FStmt], str]:
+        """Returns (statements, variable holding the value)."""
+        if isinstance(e, EVar):
+            return [], e.name
+        if isinstance(e, ELit):
+            tmp = self.fresh()
+            return [FSetLit(tmp, e.value)], tmp
+        if isinstance(e, ELoad):
+            stmts, addr_var = self.flatten_expr(e.addr)
+            tmp = self.fresh()
+            stmts.append(FLoad(tmp, e.size, addr_var))
+            return stmts, tmp
+        if isinstance(e, EOp):
+            lhs_stmts, lhs_var = self.flatten_expr(e.lhs)
+            rhs_stmts, rhs_var = self.flatten_expr(e.rhs)
+            tmp = self.fresh()
+            return lhs_stmts + rhs_stmts + [FOp(tmp, e.op, lhs_var, rhs_var)], tmp
+        raise TypeError("not an expression: %r" % (e,))
+
+    def flatten_expr_into(self, e: Expr, dst: str) -> List[FStmt]:
+        """Flatten ``e`` with the result in ``dst``."""
+        if isinstance(e, ELit):
+            return [FSetLit(dst, e.value)]
+        if isinstance(e, EVar):
+            return [FSetVar(dst, e.name)] if e.name != dst else []
+        stmts, var = self.flatten_expr(e)
+        stmts.append(FSetVar(dst, var))
+        return stmts
+
+    # -- commands --------------------------------------------------------------
+
+    def flatten_cmd(self, c: Cmd) -> List[FStmt]:
+        if isinstance(c, SSkip):
+            return []
+        if isinstance(c, SSet):
+            return self.flatten_expr_into(c.value, c.name)
+        if isinstance(c, SStore):
+            addr_stmts, addr_var = self.flatten_expr(c.addr)
+            val_stmts, val_var = self.flatten_expr(c.value)
+            return addr_stmts + val_stmts + [FStore(c.size, addr_var, val_var)]
+        if isinstance(c, SSeq):
+            # Iterate along the SSeq spine: long straight-line blocks must
+            # not recurse once per statement.
+            out: List[FStmt] = []
+            node: Cmd = c
+            while isinstance(node, SSeq):
+                out += self.flatten_cmd(node.first)
+                node = node.rest
+            out += self.flatten_cmd(node)
+            return out
+        if isinstance(c, SIf):
+            cond_stmts, cond_var = self.flatten_expr(c.cond)
+            return cond_stmts + [FIf(cond_var,
+                                     tuple(self.flatten_cmd(c.then_)),
+                                     tuple(self.flatten_cmd(c.else_)))]
+        if isinstance(c, SWhile):
+            cond_stmts, cond_var = self.flatten_expr(c.cond)
+            return [FWhile(tuple(cond_stmts), cond_var,
+                           tuple(self.flatten_cmd(c.body)))]
+        if isinstance(c, SStackalloc):
+            return [FStackalloc(c.name, c.nbytes,
+                                tuple(self.flatten_cmd(c.body)))]
+        if isinstance(c, SCall):
+            stmts: List[FStmt] = []
+            arg_vars = []
+            for arg in c.args:
+                arg_stmts, arg_var = self.flatten_expr(arg)
+                stmts += arg_stmts
+                arg_vars.append(arg_var)
+            stmts.append(FCall(c.binds, c.func, tuple(arg_vars)))
+            return stmts
+        if isinstance(c, SInteract):
+            stmts = []
+            arg_vars = []
+            for arg in c.args:
+                arg_stmts, arg_var = self.flatten_expr(arg)
+                stmts += arg_stmts
+                arg_vars.append(arg_var)
+            stmts.append(FInteract(c.binds, c.action, tuple(arg_vars)))
+            return stmts
+        raise TypeError("not a command: %r" % (c,))
+
+
+def flatten_function(fn: Function) -> FFunction:
+    flattener = Flattener()
+    body = tuple(flattener.flatten_cmd(fn.body))
+    return FFunction(fn.name, fn.params, fn.rets, body)
+
+
+def flatten_program(program: Program) -> FProgram:
+    """Phase 1 entry point: flatten every function."""
+    return {name: flatten_function(fn) for name, fn in program.items()}

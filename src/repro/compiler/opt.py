@@ -1,0 +1,623 @@
+"""Optimizing FlatImp passes: the unverified "gcc -O3"-like baseline.
+
+Paper section 7.2.1 attributes a 2.1x slowdown to the verified compiler
+lacking constant propagation, function inlining, and caller-saved-register
+exploitation. To reproduce that comparison we provide exactly those
+optimizations as FlatImp-to-FlatImp passes, *outside* the verified-style
+pipeline (they are checked by differential testing like everything else,
+but they model the unverified production-compiler baseline):
+
+* function inlining (bottom-up, non-recursive call graphs only);
+* constant & copy propagation with folding (flow-sensitive, joins at
+  control-flow merges, loop-modified variables killed);
+* dead-code elimination (backward liveness; pure defs of dead vars drop).
+
+``compile_program_optimized`` plugs them between flattening and register
+allocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bedrock2 import word
+from ..bedrock2.ast_ import Program
+from .codegen import ExtCallCompiler
+from .flatimp import (
+    FCall,
+    FFunction,
+    FIf,
+    FInteract,
+    FLoad,
+    FOp,
+    FProgram,
+    FSetLit,
+    FSetVar,
+    FStackalloc,
+    FStmt,
+    FStore,
+    FWhile,
+    stmt_vars,
+)
+from .flatten import flatten_program
+from .pipeline import CompiledProgram, _call_targets
+
+_FOLD = {
+    "add": word.add, "sub": word.sub, "mul": word.mul, "mulhuu": word.mulhuu,
+    "divu": word.divu, "remu": word.remu, "and": word.and_, "or": word.or_,
+    "xor": word.xor, "sru": word.srl, "slu": word.sll, "srs": word.sra,
+    "lts": word.lts, "ltu": word.ltu, "eq": word.eq,
+}
+
+
+# -- inlining ------------------------------------------------------------------------
+
+def _inlinable(fn: FFunction, max_size: int) -> bool:
+    return _size(fn.body) <= max_size and not _has_stackalloc(fn.body)
+
+
+def _size(stmts: Sequence[FStmt]) -> int:
+    total = 0
+    for s in stmts:
+        total += 1
+        if isinstance(s, FStackalloc):
+            total += _size(s.body)
+        elif isinstance(s, FIf):
+            total += _size(s.then_) + _size(s.else_)
+        elif isinstance(s, FWhile):
+            total += _size(s.cond_stmts) + _size(s.body)
+    return total
+
+
+def _has_stackalloc(stmts: Sequence[FStmt]) -> bool:
+    for s in stmts:
+        if isinstance(s, FStackalloc):
+            return True
+        if isinstance(s, FIf) and (_has_stackalloc(s.then_)
+                                   or _has_stackalloc(s.else_)):
+            return True
+        if isinstance(s, FWhile) and (_has_stackalloc(s.cond_stmts)
+                                      or _has_stackalloc(s.body)):
+            return True
+    return False
+
+
+class Inliner:
+    def __init__(self, program: FProgram, max_size: int = 40):
+        self.program = program
+        self.max_size = max_size
+        self._counter = itertools.count()
+
+    def _rename(self, stmts: Sequence[FStmt],
+                mapping: Dict[str, str]) -> Tuple[FStmt, ...]:
+        def r(name: str) -> str:
+            return mapping[name]
+
+        out: List[FStmt] = []
+        for s in stmts:
+            if isinstance(s, FSetLit):
+                out.append(FSetLit(r(s.dst), s.value))
+            elif isinstance(s, FSetVar):
+                out.append(FSetVar(r(s.dst), r(s.src)))
+            elif isinstance(s, FOp):
+                out.append(FOp(r(s.dst), s.op, r(s.lhs), r(s.rhs)))
+            elif isinstance(s, FLoad):
+                out.append(FLoad(r(s.dst), s.size, r(s.addr)))
+            elif isinstance(s, FStore):
+                out.append(FStore(s.size, r(s.addr), r(s.value)))
+            elif isinstance(s, FIf):
+                out.append(FIf(r(s.cond), self._rename(s.then_, mapping),
+                               self._rename(s.else_, mapping)))
+            elif isinstance(s, FWhile):
+                out.append(FWhile(self._rename(s.cond_stmts, mapping),
+                                  r(s.cond_var), self._rename(s.body, mapping)))
+            elif isinstance(s, FCall):
+                out.append(FCall(tuple(r(b) for b in s.binds), s.func,
+                                 tuple(r(a) for a in s.args)))
+            elif isinstance(s, FInteract):
+                out.append(FInteract(tuple(r(b) for b in s.binds), s.action,
+                                     tuple(r(a) for a in s.args)))
+            else:
+                raise TypeError(s)
+        return tuple(out)
+
+    def inline_stmts(self, stmts: Sequence[FStmt],
+                     inlinable: Set[str]) -> Tuple[FStmt, ...]:
+        out: List[FStmt] = []
+        for s in stmts:
+            if isinstance(s, FCall) and s.func in inlinable:
+                callee = self.program[s.func]
+                suffix = "$i%d" % next(self._counter)
+                names = stmt_vars(callee.body) | set(callee.params) \
+                    | set(callee.rets)
+                mapping = {n: n + suffix for n in names}
+                for param, arg in zip(callee.params, s.args):
+                    out.append(FSetVar(mapping[param], arg))
+                out.extend(self.inline_stmts(
+                    self._rename(callee.body, mapping), inlinable))
+                for bind, ret in zip(s.binds, callee.rets):
+                    out.append(FSetVar(bind, mapping[ret]))
+            elif isinstance(s, FStackalloc):
+                out.append(FStackalloc(s.dst, s.nbytes,
+                                       self.inline_stmts(s.body, inlinable)))
+            elif isinstance(s, FIf):
+                out.append(FIf(s.cond, self.inline_stmts(s.then_, inlinable),
+                               self.inline_stmts(s.else_, inlinable)))
+            elif isinstance(s, FWhile):
+                out.append(FWhile(self.inline_stmts(s.cond_stmts, inlinable),
+                                  s.cond_var,
+                                  self.inline_stmts(s.body, inlinable)))
+            else:
+                out.append(s)
+        return tuple(out)
+
+
+def inline_program(program: FProgram, max_size: int = 40,
+                   rounds: int = 3) -> FProgram:
+    """Bottom-up inlining of small functions; several rounds so chains of
+    small helpers (spi_write inside spi_xchg inside lan9250_readword)
+    flatten out like gcc's inliner would."""
+    current = dict(program)
+    for _ in range(rounds):
+        inliner = Inliner(current, max_size)
+        inlinable = {name for name, fn in current.items()
+                     if _inlinable(fn, max_size)}
+        new_program = {}
+        changed = False
+        for name, fn in current.items():
+            new_body = inliner.inline_stmts(
+                fn.body, inlinable - {name})
+            if new_body != fn.body:
+                changed = True
+            new_program[name] = FFunction(fn.name, fn.params, fn.rets,
+                                          new_body)
+        current = new_program
+        if not changed:
+            break
+    return current
+
+
+# -- constant & copy propagation --------------------------------------------------------
+
+Const = Dict[str, int]   # var -> known constant
+Copy = Dict[str, str]    # var -> equal-valued source var
+
+
+def _kill(env: Const, copies: Copy, var: str) -> None:
+    env.pop(var, None)
+    copies.pop(var, None)
+    for k in [k for k, v in copies.items() if v == var]:
+        del copies[k]
+
+
+def _resolve(copies: Copy, var: str) -> str:
+    seen = set()
+    while var in copies and var not in seen:
+        seen.add(var)
+        var = copies[var]
+    return var
+
+
+def const_prop_stmts(stmts: Sequence[FStmt], env: Const,
+                     copies: Copy) -> Tuple[FStmt, ...]:
+    out: List[FStmt] = []
+    for s in stmts:
+        if isinstance(s, FSetLit):
+            _kill(env, copies, s.dst)
+            env[s.dst] = s.value
+            out.append(s)
+        elif isinstance(s, FSetVar):
+            src = _resolve(copies, s.src)
+            if src in env:
+                _kill(env, copies, s.dst)
+                env[s.dst] = env[src]
+                out.append(FSetLit(s.dst, env[s.dst]))
+            else:
+                _kill(env, copies, s.dst)
+                copies[s.dst] = src
+                out.append(FSetVar(s.dst, src))
+        elif isinstance(s, FOp):
+            lhs = _resolve(copies, s.lhs)
+            rhs = _resolve(copies, s.rhs)
+            if lhs in env and rhs in env:
+                value = _FOLD[s.op](env[lhs], env[rhs])
+                _kill(env, copies, s.dst)
+                env[s.dst] = value
+                out.append(FSetLit(s.dst, value))
+            else:
+                _kill(env, copies, s.dst)
+                out.append(FOp(s.dst, s.op, lhs, rhs))
+        elif isinstance(s, FLoad):
+            addr = _resolve(copies, s.addr)
+            _kill(env, copies, s.dst)
+            out.append(FLoad(s.dst, s.size, addr))
+        elif isinstance(s, FStore):
+            out.append(FStore(s.size, _resolve(copies, s.addr),
+                              _resolve(copies, s.value)))
+        elif isinstance(s, FStackalloc):
+            _kill(env, copies, s.dst)
+            body = const_prop_stmts(s.body, env, copies)
+            out.append(FStackalloc(s.dst, s.nbytes, body))
+        elif isinstance(s, FIf):
+            cond = _resolve(copies, s.cond)
+            if cond in env:
+                branch = s.then_ if env[cond] != 0 else s.else_
+                out.extend(const_prop_stmts(branch, env, copies))
+                continue
+            env_t, copies_t = dict(env), dict(copies)
+            env_e, copies_e = dict(env), dict(copies)
+            then_ = const_prop_stmts(s.then_, env_t, copies_t)
+            else_ = const_prop_stmts(s.else_, env_e, copies_e)
+            out.append(FIf(cond, then_, else_))
+            # Join: keep facts agreed on by both branches.
+            env.clear()
+            env.update({k: v for k, v in env_t.items()
+                        if env_e.get(k) == v})
+            copies.clear()
+            copies.update({k: v for k, v in copies_t.items()
+                           if copies_e.get(k) == v})
+        elif isinstance(s, FWhile):
+            killed = stmt_vars(s.body) | stmt_vars(s.cond_stmts)
+            for name in killed:
+                _kill(env, copies, name)
+            cond_stmts = const_prop_stmts(s.cond_stmts, dict(env),
+                                          dict(copies))
+            body = const_prop_stmts(s.body, dict(env), dict(copies))
+            out.append(FWhile(cond_stmts, s.cond_var, body))
+            for name in killed:
+                _kill(env, copies, name)
+        elif isinstance(s, FCall):
+            args = tuple(_resolve(copies, a) for a in s.args)
+            for b in s.binds:
+                _kill(env, copies, b)
+            out.append(FCall(s.binds, s.func, args))
+        elif isinstance(s, FInteract):
+            args = tuple(_resolve(copies, a) for a in s.args)
+            for b in s.binds:
+                _kill(env, copies, b)
+            out.append(FInteract(s.binds, s.action, args))
+        else:
+            raise TypeError(s)
+    return tuple(out)
+
+
+def const_prop_program(program: FProgram) -> FProgram:
+    return {name: FFunction(fn.name, fn.params, fn.rets,
+                            const_prop_stmts(fn.body, {}, {}))
+            for name, fn in program.items()}
+
+
+# -- dead code elimination ----------------------------------------------------------------
+
+def _dce_stmts(stmts: Sequence[FStmt], live: Set[str]) -> Tuple[FStmt, ...]:
+    """Backward liveness; drops pure definitions of dead variables.
+
+    Loads are treated as pure here: removing one can only make a program
+    *more* defined, which forward simulation permits."""
+    out: List[FStmt] = []
+    for s in reversed(stmts):
+        if isinstance(s, (FSetLit, FSetVar, FOp, FLoad)):
+            if s.dst not in live:
+                continue
+            live.discard(s.dst)
+            if isinstance(s, FSetVar):
+                live.add(s.src)
+            elif isinstance(s, FOp):
+                live.update((s.lhs, s.rhs))
+            elif isinstance(s, FLoad):
+                live.add(s.addr)
+            out.append(s)
+        elif isinstance(s, FStore):
+            live.update((s.addr, s.value))
+            out.append(s)
+        elif isinstance(s, FStackalloc):
+            body = _dce_stmts(s.body, live)
+            live.discard(s.dst)
+            out.append(FStackalloc(s.dst, s.nbytes, body))
+        elif isinstance(s, FIf):
+            live_t = set(live)
+            live_e = set(live)
+            then_ = _dce_stmts(s.then_, live_t)
+            else_ = _dce_stmts(s.else_, live_e)
+            if not then_ and not else_:
+                continue
+            live.clear()
+            live.update(live_t | live_e | {s.cond})
+            out.append(FIf(s.cond, then_, else_))
+        elif isinstance(s, FWhile):
+            # Fixpoint: body may feed its own next iteration.
+            live_in = set(live) | {s.cond_var}
+            while True:
+                trial = set(live_in)
+                trial_body = _dce_stmts(s.body, set(trial))
+                used = stmt_vars(trial_body) | stmt_vars(s.cond_stmts) \
+                    | {s.cond_var} | live
+                if used <= live_in:
+                    break
+                live_in |= used
+            body = _dce_stmts(s.body, set(live_in))
+            cond_stmts = _dce_stmts(s.cond_stmts, set(live_in))
+            live.clear()
+            live.update(live_in | stmt_vars(cond_stmts) | stmt_vars(body))
+            out.append(FWhile(cond_stmts, s.cond_var, body))
+        elif isinstance(s, FCall):
+            live.difference_update(s.binds)
+            live.update(s.args)
+            out.append(s)
+        elif isinstance(s, FInteract):
+            live.difference_update(s.binds)
+            live.update(s.args)
+            out.append(s)
+        else:
+            raise TypeError(s)
+    return tuple(reversed(out))
+
+
+def dce_program(program: FProgram) -> FProgram:
+    out = {}
+    for name, fn in program.items():
+        live = set(fn.rets)
+        out[name] = FFunction(fn.name, fn.params, fn.rets,
+                              _dce_stmts(fn.body, live))
+    return out
+
+
+# -- liveness-based register allocation -------------------------------------------------
+
+def _live_ranges(fn: FFunction) -> Dict[str, Tuple[int, int]]:
+    """Approximate live ranges over a linearization of the body.
+
+    A variable whose value can cross a loop backedge must stay allocated
+    for the whole loop. The sound-but-sharp criterion used here: a
+    variable's raw textual range ``[first, last]`` suffices iff its first
+    occurrence is a *dominating definition* -- a def at the top level of
+    the innermost loop body enclosing all its occurrences (or at function
+    top level). Any other variable touched by loops is widened to the
+    extent of the outermost loop containing it. Widening everything (the
+    naive rule) spills every hot-loop temporary; widening nothing
+    miscompiles accumulators."""
+    ranges: Dict[str, Tuple[int, int]] = {}
+    first_info: Dict[str, Tuple[str, int]] = {}  # var -> (kind, cond depth)
+    counter = [0]
+    depth = [0]
+    loop_extents: List[Tuple[int, int, int]] = []  # (start, end, entry depth)
+    loop_stack: List[Tuple[int, int]] = []  # (start, entry depth)
+
+    def note(name: str, kind: str) -> None:
+        idx = counter[0]
+        if name not in ranges:
+            ranges[name] = (idx, idx)
+            first_info[name] = (kind, depth[0])
+        else:
+            lo, hi = ranges[name]
+            ranges[name] = (min(lo, idx), max(hi, idx))
+
+    def tick() -> None:
+        counter[0] += 1
+
+    def walk(stmts: Sequence[FStmt]) -> None:
+        for s in stmts:
+            tick()
+            if isinstance(s, FSetLit):
+                note(s.dst, "def")
+            elif isinstance(s, FSetVar):
+                note(s.src, "use")
+                note(s.dst, "def")
+            elif isinstance(s, FOp):
+                note(s.lhs, "use")
+                note(s.rhs, "use")
+                note(s.dst, "def")
+            elif isinstance(s, FLoad):
+                note(s.addr, "use")
+                note(s.dst, "def")
+            elif isinstance(s, FStore):
+                note(s.addr, "use")
+                note(s.value, "use")
+            elif isinstance(s, FStackalloc):
+                note(s.dst, "def")
+                walk(s.body)
+            elif isinstance(s, FIf):
+                note(s.cond, "use")
+                depth[0] += 1
+                walk(s.then_)
+                walk(s.else_)
+                depth[0] -= 1
+            elif isinstance(s, FWhile):
+                start = counter[0]
+                loop_stack.append((start, depth[0]))
+                depth[0] += 1
+                walk(s.cond_stmts)
+                note(s.cond_var, "use")
+                walk(s.body)
+                depth[0] -= 1
+                loop_stack.pop()
+                loop_extents.append((start, counter[0], depth[0]))
+            elif isinstance(s, (FCall, FInteract)):
+                for a in s.args:
+                    note(a, "use")
+                for b in s.binds:
+                    note(b, "def")
+
+    for p in fn.params:
+        note(p, "def")
+    walk(fn.body)
+    tick()
+    for r in fn.rets:
+        note(r, "use")
+
+    for name in list(ranges):
+        kind, first_depth = first_info[name]
+        # Fixpoint: widening over one loop can bring the range into overlap
+        # with further loops.
+        while True:
+            lo, hi = ranges[name]
+            overlapping = [(s, e, d) for (s, e, d) in loop_extents
+                           if not (e < lo or hi < s)]
+            enclosing = [t for t in overlapping
+                         if t[0] <= lo and hi <= t[1]]
+            partial = [t for t in overlapping if t not in enclosing]
+            lo2, hi2 = lo, hi
+            # A range that straddles a loop boundary is live across that
+            # loop's iterations: cover the whole loop. (This is the inner-
+            # loop cond-var case: init before the loop, updated inside.)
+            for (s, e, _) in partial:
+                lo2, hi2 = min(lo2, s), max(hi2, e)
+            if enclosing:
+                innermost = max(enclosing, key=lambda t: t[0])
+                dominated = (kind == "def"
+                             and first_depth == innermost[2] + 1)
+                if not dominated:
+                    # May cross the enclosing backedges too.
+                    for (s, e, _) in enclosing:
+                        lo2, hi2 = min(lo2, s), max(hi2, e)
+            if (lo2, hi2) == (lo, hi):
+                break
+            ranges[name] = (lo2, hi2)
+    return ranges
+
+
+def allocate_function_linear_scan(fn: FFunction):
+    """Linear-scan allocation with register reuse -- the "exploit registers
+    properly" half of the gcc-baseline comparison."""
+    from .regalloc import ALLOCATABLE, Allocation, MAX_ARGS, TooManyArguments, reg_name, spill_name
+
+    if len(fn.params) > MAX_ARGS or len(fn.rets) > MAX_ARGS:
+        raise TooManyArguments(fn.name)
+    ranges = _live_ranges(fn)
+    order = sorted(ranges, key=lambda n: (ranges[n][0], ranges[n][1]))
+    free = list(ALLOCATABLE)
+    active: List[Tuple[int, str, int]] = []  # (end, var, reg)
+    mapping: Dict[str, str] = {}
+    spills = 0
+    for name in order:
+        start, end = ranges[name]
+        active.sort()
+        while active and active[0][0] < start:
+            _, _, reg = active.pop(0)
+            free.append(reg)
+        if free:
+            reg = free.pop(0)
+            mapping[name] = reg_name(reg)
+            active.append((end, name, reg))
+        elif active and active[-1][0] > end:
+            # Standard linear-scan choice: spill the interval that lives
+            # longest, keeping short (hot-loop) ranges in registers.
+            victim_end, victim, reg = active.pop()
+            mapping[victim] = spill_name(spills)
+            spills += 1
+            mapping[name] = reg_name(reg)
+            active.append((end, name, reg))
+        else:
+            mapping[name] = spill_name(spills)
+            spills += 1
+
+    def rename(stmts: Sequence[FStmt]) -> Tuple[FStmt, ...]:
+        out: List[FStmt] = []
+        for s in stmts:
+            if isinstance(s, FSetLit):
+                out.append(FSetLit(mapping[s.dst], s.value))
+            elif isinstance(s, FSetVar):
+                out.append(FSetVar(mapping[s.dst], mapping[s.src]))
+            elif isinstance(s, FOp):
+                out.append(FOp(mapping[s.dst], s.op, mapping[s.lhs],
+                               mapping[s.rhs]))
+            elif isinstance(s, FLoad):
+                out.append(FLoad(mapping[s.dst], s.size, mapping[s.addr]))
+            elif isinstance(s, FStore):
+                out.append(FStore(s.size, mapping[s.addr], mapping[s.value]))
+            elif isinstance(s, FStackalloc):
+                out.append(FStackalloc(mapping[s.dst], s.nbytes,
+                                       rename(s.body)))
+            elif isinstance(s, FIf):
+                out.append(FIf(mapping[s.cond], rename(s.then_),
+                               rename(s.else_)))
+            elif isinstance(s, FWhile):
+                out.append(FWhile(rename(s.cond_stmts), mapping[s.cond_var],
+                                  rename(s.body)))
+            elif isinstance(s, FCall):
+                out.append(FCall(tuple(mapping[b] for b in s.binds), s.func,
+                                 tuple(mapping[a] for a in s.args)))
+            elif isinstance(s, FInteract):
+                out.append(FInteract(tuple(mapping[b] for b in s.binds),
+                                     s.action,
+                                     tuple(mapping[a] for a in s.args)))
+            else:
+                raise TypeError(s)
+        return tuple(out)
+
+    new_fn = FFunction(fn.name,
+                       tuple(mapping[p] for p in fn.params),
+                       tuple(mapping[r] for r in fn.rets),
+                       rename(fn.body))
+    return new_fn, Allocation(mapping, spills)
+
+
+def allocate_program_linear_scan(program: FProgram):
+    out = {}
+    allocations = {}
+    for name, fn in program.items():
+        new_fn, alloc = allocate_function_linear_scan(fn)
+        out[name] = new_fn
+        allocations[name] = alloc
+    return out, allocations
+
+
+# -- the optimizing pipeline -----------------------------------------------------------------
+
+def optimize(flat: FProgram, inline_max_size: int = 40) -> FProgram:
+    flat = inline_program(flat, max_size=inline_max_size)
+    for _ in range(2):
+        flat = const_prop_program(flat)
+        flat = dce_program(flat)
+    return flat
+
+
+def compile_program_optimized(program: Program, entry: str = "main",
+                              ext_compiler: Optional[ExtCallCompiler] = None,
+                              base: int = 0, stack_top: int = 1 << 20,
+                              inline_max_size: int = 40) -> CompiledProgram:
+    """The baseline compiler: flatten, optimize, then the usual backend."""
+    from .codegen import FunctionCompiler, JumpTo, Label, MMIOExtCallCompiler, resolve_labels
+    from .pipeline import compute_stack_bound
+    from .regalloc import allocate_program
+    from ..riscv.encode import encode_program
+
+    if ext_compiler is None:
+        ext_compiler = MMIOExtCallCompiler()
+    flat = optimize(flatten_program(program), inline_max_size)
+    reg_flat, allocations = allocate_program_linear_scan(flat)
+
+    from .codegen import RA, SP, ZERO
+    items = []
+    start = FunctionCompiler(FFunction("_start", (), (), ()), ext_compiler, 0)
+    start.emit(Label("_start"))
+    start.emit_li(SP, stack_top)
+    start.emit(JumpTo(RA, "func." + entry))
+    start.emit(Label("halt"))
+    start.emit(JumpTo(ZERO, "halt"))
+    items += start.items
+    frame_sizes = {}
+    for name in sorted(reg_flat):
+        fn = reg_flat[name]
+        fc = FunctionCompiler(fn, ext_compiler, allocations[name].num_spills)
+        items += fc.compile_function()
+        frame_sizes[name] = fc.frame_size
+    symbols = {}
+    pc = base
+    for item in items:
+        if isinstance(item, Label):
+            symbols[item.name] = pc
+        else:
+            pc += 4
+    instrs = resolve_labels(items, base=base)
+    return CompiledProgram(
+        instrs=instrs,
+        image=encode_program(instrs),
+        symbols=symbols,
+        entry=entry,
+        halt_pc=symbols["halt"],
+        stack_top=stack_top,
+        frame_sizes=frame_sizes,
+        stack_bound=compute_stack_bound(flat, frame_sizes, entry),
+    )

@@ -1,0 +1,185 @@
+"""The compiler driver: Bedrock2 -> FlatImp -> registers -> RISC-V -> bytes.
+
+``compile_program`` runs the three phases of paper Figure 3 and links the
+result into a flat binary image with a tiny ``_start`` stub (set up the
+stack pointer, call the entry function, spin). There is deliberately no
+bootloader and no runtime: the paper emphasizes that its end-to-end theorem
+needs nothing but the binary at address 0.
+
+Also computes the static stack bound (`stack_usage`) that underlies the
+paper's never-out-of-memory guarantee: recursion is rejected, every frame
+is statically sized, so the deepest call path gives a hard bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bedrock2.ast_ import Program
+from ..riscv import insts as I
+from ..riscv.encode import encode_program
+from .codegen import (
+    A0,
+    RA,
+    SP,
+    ZERO,
+    CompileError,
+    ExtCallCompiler,
+    FunctionCompiler,
+    Item,
+    JumpTo,
+    Label,
+    MMIOExtCallCompiler,
+    resolve_labels,
+)
+from .flatimp import FCall, FFunction, FIf, FProgram, FStackalloc, FStmt, FWhile
+from .flatten import flatten_program
+from .regalloc import allocate_program
+
+
+@dataclass
+class CompiledProgram:
+    """The linked output of the compiler."""
+
+    instrs: List[I.Instr]
+    image: bytes
+    symbols: Dict[str, int]
+    entry: str
+    halt_pc: int
+    stack_top: int
+    frame_sizes: Dict[str, int]
+    stack_bound: int
+
+    @property
+    def size(self) -> int:
+        return len(self.image)
+
+
+def _call_targets(stmts: Sequence[FStmt], acc: set) -> None:
+    for s in stmts:
+        if isinstance(s, FCall):
+            acc.add(s.func)
+        elif isinstance(s, FStackalloc):
+            _call_targets(s.body, acc)
+        elif isinstance(s, FIf):
+            _call_targets(s.then_, acc)
+            _call_targets(s.else_, acc)
+        elif isinstance(s, FWhile):
+            _call_targets(s.cond_stmts, acc)
+            _call_targets(s.body, acc)
+
+
+def compute_stack_bound(flat: FProgram, frame_sizes: Dict[str, int],
+                        entry: str) -> int:
+    """Static bound on stack usage from ``entry``; rejects recursion."""
+    call_graph = {}
+    for name, fn in flat.items():
+        targets: set = set()
+        _call_targets(fn.body, targets)
+        call_graph[name] = targets
+
+    visiting: set = set()
+    memo: Dict[str, int] = {}
+
+    def usage(fname: str) -> int:
+        if fname in memo:
+            return memo[fname]
+        if fname in visiting:
+            raise CompileError("recursion detected through %r; the compiler "
+                               "requires an acyclic call graph" % fname)
+        if fname not in flat:
+            raise CompileError("call to undefined function %r" % fname)
+        visiting.add(fname)
+        deepest = 0
+        for callee in call_graph[fname]:
+            deepest = max(deepest, usage(callee))
+        visiting.discard(fname)
+        memo[fname] = frame_sizes[fname] + deepest
+        return memo[fname]
+
+    return usage(entry)
+
+
+def compile_program(program: Program, entry: str = "main",
+                    ext_compiler: Optional[ExtCallCompiler] = None,
+                    base: int = 0, stack_top: int = 1 << 20) -> CompiledProgram:
+    """Compile a Bedrock2 program to a flat RV32IM image.
+
+    The image starts with ``_start`` at ``base``: it loads ``stack_top``
+    into ``sp``, calls ``entry``, and spins at ``halt`` if it ever returns.
+    """
+    if entry not in program:
+        raise CompileError("entry function %r not defined" % entry)
+    if ext_compiler is None:
+        ext_compiler = MMIOExtCallCompiler()
+
+    flat = flatten_program(program)
+    reg_flat, allocations = allocate_program(flat)
+
+    items: List[Item] = []
+    # _start stub.
+    start = FunctionCompiler(FFunction("_start", (), (), ()), ext_compiler, 0)
+    start.emit(Label("_start"))
+    start.emit_li(SP, stack_top)
+    start.emit(JumpTo(RA, "func." + entry))
+    start.emit(Label("halt"))
+    start.emit(JumpTo(ZERO, "halt"))
+    items += start.items
+
+    frame_sizes: Dict[str, int] = {}
+    for name in sorted(reg_flat):
+        fn = reg_flat[name]
+        fc = FunctionCompiler(fn, ext_compiler, allocations[name].num_spills)
+        items += fc.compile_function()
+        frame_sizes[name] = fc.frame_size
+
+    # Symbol table (label -> address).
+    symbols: Dict[str, int] = {}
+    pc = base
+    for item in items:
+        if isinstance(item, Label):
+            symbols[item.name] = pc
+        else:
+            pc += 4
+
+    instrs = resolve_labels(items, base=base)
+    image = encode_program(instrs)
+    stack_bound = compute_stack_bound(flat, frame_sizes, entry)
+    return CompiledProgram(
+        instrs=instrs,
+        image=image,
+        symbols=symbols,
+        entry=entry,
+        halt_pc=symbols["halt"],
+        stack_top=stack_top,
+        frame_sizes=frame_sizes,
+        stack_bound=stack_bound,
+    )
+
+
+def run_compiled(compiled: CompiledProgram, args: Sequence[int],
+                 n_rets: int = 1, mem_size: int = 1 << 20,
+                 mmio_bus=None, max_steps: int = 5_000_000,
+                 extra_memory: Sequence[Tuple[int, bytes]] = ()):
+    """Run a compiled program's entry function on the ISA-level machine.
+
+    Returns ``(return_values, machine)``; the machine's ``trace`` carries
+    the MMIO triples. Used pervasively by the compiler-correctness
+    differential tests.
+    """
+    from ..riscv.machine import RiscvMachine
+
+    machine = RiscvMachine.with_program(compiled.image, base=0, pc=0,
+                                        mem_size=mem_size, mmio_bus=mmio_bus)
+    for base_addr, data in extra_memory:
+        for i, b in enumerate(data):
+            machine.mem[base_addr + i] = b
+    for i, arg in enumerate(args):
+        machine.set_register(A0 + i, arg)
+    machine.run(max_steps, until_pc=compiled.halt_pc)
+    if machine.pc != compiled.halt_pc:
+        raise RuntimeError("program did not reach halt within %d steps"
+                           % max_steps)
+    rets = tuple(machine.get_register(A0 + i) for i in range(n_rets))
+    return rets, machine

@@ -1,0 +1,196 @@
+"""Compiler phase 2: register allocation (paper Figure 3).
+
+Maps FlatImp variables to RISC-V registers, spilling to stack slots when a
+function uses more variables than the allocatable set. The output is again
+FlatImp ("FlatImp with registers"): variable names are ``x5``..``x28`` plus
+``$spillN`` markers that the code generator lowers to frame accesses via
+scratch registers -- the same two-FlatImp-stage structure as the paper.
+
+Register convention (RV32 standard names in comments):
+
+====== ===========================================
+x0     hard zero
+x1     return address (ra)
+x2     stack pointer (sp)
+x5-x9  allocatable
+x10-17 argument/return registers (a0-a7)
+x18-28 allocatable
+x29-31 code-generator scratch (t4-t6)
+====== ===========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .flatimp import (
+    FCall,
+    FFunction,
+    FIf,
+    FInteract,
+    FLoad,
+    FOp,
+    FProgram,
+    FSetLit,
+    FSetVar,
+    FStackalloc,
+    FStmt,
+    FStore,
+    FWhile,
+)
+
+ALLOCATABLE = tuple(range(5, 10)) + tuple(range(18, 29))
+ARG_REGS = tuple(range(10, 18))  # a0..a7
+SCRATCH = (29, 30, 31)
+MAX_ARGS = len(ARG_REGS)
+
+
+class TooManyArguments(Exception):
+    """Function signature exceeds the a0..a7 calling convention."""
+
+
+def reg_name(reg: int) -> str:
+    return "x%d" % reg
+
+
+def spill_name(slot: int) -> str:
+    return "$spill%d" % slot
+
+
+def is_spill(name: str) -> bool:
+    return name.startswith("$spill")
+
+
+def spill_slot(name: str) -> int:
+    return int(name[len("$spill"):])
+
+
+class Allocation:
+    """The allocation result for one function."""
+
+    def __init__(self, mapping: Dict[str, str], num_spills: int):
+        self.mapping = mapping
+        self.num_spills = num_spills
+
+    def __getitem__(self, var: str) -> str:
+        return self.mapping[var]
+
+
+def _collect_vars_in_order(fn: FFunction) -> List[str]:
+    """All variables in order of first occurrence (params first), giving
+    params and long-lived user variables priority for real registers."""
+    order: List[str] = []
+    seen = set()
+
+    def visit_var(name: str) -> None:
+        if name not in seen:
+            seen.add(name)
+            order.append(name)
+
+    def visit(stmts: Sequence[FStmt]) -> None:
+        for s in stmts:
+            if isinstance(s, FSetLit):
+                visit_var(s.dst)
+            elif isinstance(s, FSetVar):
+                visit_var(s.src)
+                visit_var(s.dst)
+            elif isinstance(s, FOp):
+                visit_var(s.lhs)
+                visit_var(s.rhs)
+                visit_var(s.dst)
+            elif isinstance(s, FLoad):
+                visit_var(s.addr)
+                visit_var(s.dst)
+            elif isinstance(s, FStore):
+                visit_var(s.addr)
+                visit_var(s.value)
+            elif isinstance(s, FStackalloc):
+                visit_var(s.dst)
+                visit(s.body)
+            elif isinstance(s, FIf):
+                visit_var(s.cond)
+                visit(s.then_)
+                visit(s.else_)
+            elif isinstance(s, FWhile):
+                visit(s.cond_stmts)
+                visit_var(s.cond_var)
+                visit(s.body)
+            elif isinstance(s, (FCall, FInteract)):
+                for a in s.args:
+                    visit_var(a)
+                for b in s.binds:
+                    visit_var(b)
+
+    for p in fn.params:
+        visit_var(p)
+    visit(fn.body)
+    for r in fn.rets:
+        visit_var(r)
+    return order
+
+
+def allocate_function(fn: FFunction) -> Tuple[FFunction, Allocation]:
+    """Rename every variable to a register or spill slot."""
+    if len(fn.params) > MAX_ARGS or len(fn.rets) > MAX_ARGS:
+        raise TooManyArguments(fn.name)
+    order = _collect_vars_in_order(fn)
+    mapping: Dict[str, str] = {}
+    free_regs = list(ALLOCATABLE)
+    spills = 0
+    for var in order:
+        if free_regs:
+            mapping[var] = reg_name(free_regs.pop(0))
+        else:
+            mapping[var] = spill_name(spills)
+            spills += 1
+
+    def rename(stmts: Sequence[FStmt]) -> Tuple[FStmt, ...]:
+        out: List[FStmt] = []
+        for s in stmts:
+            if isinstance(s, FSetLit):
+                out.append(FSetLit(mapping[s.dst], s.value))
+            elif isinstance(s, FSetVar):
+                out.append(FSetVar(mapping[s.dst], mapping[s.src]))
+            elif isinstance(s, FOp):
+                out.append(FOp(mapping[s.dst], s.op, mapping[s.lhs],
+                               mapping[s.rhs]))
+            elif isinstance(s, FLoad):
+                out.append(FLoad(mapping[s.dst], s.size, mapping[s.addr]))
+            elif isinstance(s, FStore):
+                out.append(FStore(s.size, mapping[s.addr], mapping[s.value]))
+            elif isinstance(s, FStackalloc):
+                out.append(FStackalloc(mapping[s.dst], s.nbytes,
+                                       rename(s.body)))
+            elif isinstance(s, FIf):
+                out.append(FIf(mapping[s.cond], rename(s.then_),
+                               rename(s.else_)))
+            elif isinstance(s, FWhile):
+                out.append(FWhile(rename(s.cond_stmts), mapping[s.cond_var],
+                                  rename(s.body)))
+            elif isinstance(s, FCall):
+                out.append(FCall(tuple(mapping[b] for b in s.binds), s.func,
+                                 tuple(mapping[a] for a in s.args)))
+            elif isinstance(s, FInteract):
+                out.append(FInteract(tuple(mapping[b] for b in s.binds),
+                                     s.action,
+                                     tuple(mapping[a] for a in s.args)))
+            else:
+                raise TypeError("not a FlatImp statement: %r" % (s,))
+        return tuple(out)
+
+    new_fn = FFunction(fn.name,
+                       tuple(mapping[p] for p in fn.params),
+                       tuple(mapping[r] for r in fn.rets),
+                       rename(fn.body))
+    return new_fn, Allocation(mapping, spills)
+
+
+def allocate_program(program: FProgram):
+    """Phase 2 entry point. Returns (register-FlatImp program, allocations)."""
+    out: Dict[str, FFunction] = {}
+    allocations: Dict[str, Allocation] = {}
+    for name, fn in program.items():
+        new_fn, alloc = allocate_function(fn)
+        out[name] = new_fn
+        allocations[name] = alloc
+    return out, allocations

@@ -1,0 +1,241 @@
+"""Translation validation for register allocation.
+
+The paper's compiler proves its phases once and for all; our *optimizing*
+baseline is deliberately unverified (it models gcc). This module adds the
+classic middle ground the verification literature recommends for such
+passes: **translation validation** -- an independent checker that validates
+each allocation instance instead of the allocator itself.
+
+Two validators:
+
+* `check_allocation_static` -- recomputes conservative live ranges (the
+  widen-everything rule, deliberately *different* from the allocator's
+  sharper analysis) and verifies no two variables sharing a register have
+  overlapping conservative ranges, except when separated by a dominating
+  redefinition. Incomparable analyses double-check each other.
+* `ShadowChecker` -- a dynamic validator: interprets the *pre-allocation*
+  FlatImp while tracking which variable each physical register would hold;
+  any use of a variable whose register was since clobbered by a different
+  variable is reported. This is the oracle that caught two real allocator
+  bugs during this project's development (see git-less history in
+  DESIGN.md's narrative: loop-widening and backedge-crossing cond vars).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bedrock2.semantics import ExtHandler, IOEvent, Memory
+from .flatimp import (
+    FCall,
+    FFunction,
+    FIf,
+    FInteract,
+    FLoad,
+    FOp,
+    FProgram,
+    FSetLit,
+    FSetVar,
+    FStackalloc,
+    FStmt,
+    FStore,
+    FWhile,
+    FlatInterpreter,
+)
+
+
+class AllocationError(Exception):
+    """A register-allocation validation failure."""
+
+
+# -- static validation -------------------------------------------------------------
+
+def _conservative_ranges(fn: FFunction) -> Dict[str, Tuple[int, int]]:
+    """Widen-everything live ranges: every variable touched by a loop is
+    live for the whole loop. Sound by construction; used as the cross-check
+    against the allocator's sharper analysis."""
+    ranges: Dict[str, Tuple[int, int]] = {}
+    counter = [0]
+    loop_extents: List[Tuple[int, int]] = []
+
+    def note(name: str) -> None:
+        idx = counter[0]
+        lo, hi = ranges.get(name, (idx, idx))
+        ranges[name] = (min(lo, idx), max(hi, idx))
+
+    def walk(stmts: Sequence[FStmt]) -> None:
+        for s in stmts:
+            counter[0] += 1
+            if isinstance(s, FSetLit):
+                note(s.dst)
+            elif isinstance(s, FSetVar):
+                note(s.src), note(s.dst)
+            elif isinstance(s, FOp):
+                note(s.lhs), note(s.rhs), note(s.dst)
+            elif isinstance(s, FLoad):
+                note(s.addr), note(s.dst)
+            elif isinstance(s, FStore):
+                note(s.addr), note(s.value)
+            elif isinstance(s, FStackalloc):
+                note(s.dst)
+                walk(s.body)
+            elif isinstance(s, FIf):
+                note(s.cond)
+                walk(s.then_), walk(s.else_)
+            elif isinstance(s, FWhile):
+                start = counter[0]
+                walk(s.cond_stmts)
+                note(s.cond_var)
+                walk(s.body)
+                loop_extents.append((start, counter[0]))
+            elif isinstance(s, (FCall, FInteract)):
+                for a in s.args:
+                    note(a)
+                for b in s.binds:
+                    note(b)
+
+    for p in fn.params:
+        note(p)
+    walk(fn.body)
+    counter[0] += 1
+    for r in fn.rets:
+        note(r)
+    changed = True
+    while changed:
+        changed = False
+        for name, (lo, hi) in list(ranges.items()):
+            for s, e in loop_extents:
+                if (s <= lo <= e or s <= hi <= e) and (lo > s or hi < e):
+                    ranges[name] = (min(lo, s), max(hi, e))
+                    changed = True
+    return ranges
+
+
+def check_allocation_static(fn: FFunction,
+                            mapping: Dict[str, str]) -> List[str]:
+    """Return human-readable warnings for same-register pairs whose
+    *conservative* ranges overlap. Overlaps are not automatically bugs
+    (the allocator's sharper analysis may justify them via dominating
+    per-iteration redefinition), so this is a review list, not a verdict;
+    the dynamic checker gives the verdict."""
+    ranges = _conservative_ranges(fn)
+    by_reg: Dict[str, List[Tuple[Tuple[int, int], str]]] = {}
+    for var, loc in mapping.items():
+        if loc.startswith("x") and var in ranges:
+            by_reg.setdefault(loc, []).append((ranges[var], var))
+    warnings = []
+    for reg, entries in by_reg.items():
+        entries.sort()
+        for (r1, v1), (r2, v2) in zip(entries, entries[1:]):
+            if r2[0] <= r1[1]:
+                warnings.append("%s: %r%r overlaps %r%r" % (reg, v1, r1,
+                                                            v2, r2))
+    return warnings
+
+
+# -- dynamic validation ---------------------------------------------------------------
+
+class ShadowChecker(FlatInterpreter):
+    """Interpret pre-allocation FlatImp while shadowing the register file.
+
+    For each executed definition of ``v``, record that ``mapping[v]`` now
+    belongs to ``v``; on each use, verify the variable still owns its
+    location. Spill slots are exclusive per variable, so only registers
+    are tracked."""
+
+    def __init__(self, program: FProgram,
+                 mappings: Dict[str, Dict[str, str]], **kwargs):
+        super().__init__(program, **kwargs)
+        self.mappings = mappings
+        self._owner_stack: List[Dict[str, str]] = []
+        self._fn_stack: List[str] = []
+        self.violations: List[str] = []
+
+    def run_function_checked(self, fname: str, args, mem: Optional[Memory] = None):
+        fn = self.program[fname]
+        env = {p: a & 0xFFFFFFFF for p, a in zip(fn.params, args)}
+        self._owner_stack.append({})
+        self._fn_stack.append(fname)
+        for p in fn.params:
+            self._note_def(p)
+        trace: List[IOEvent] = []
+        self.exec_stmts(fn.body, env, mem if mem is not None else Memory(),
+                        trace)
+        for r in fn.rets:
+            self._check_use(r)
+        self._owner_stack.pop()
+        self._fn_stack.pop()
+        return tuple(env[r] for r in fn.rets), trace
+
+    def _mapping(self) -> Dict[str, str]:
+        return self.mappings.get(self._fn_stack[-1], {}) if self._fn_stack \
+            else {}
+
+    def _note_def(self, var: str) -> None:
+        loc = self._mapping().get(var)
+        if loc and loc.startswith("x") and self._owner_stack:
+            self._owner_stack[-1][loc] = var
+
+    def _check_use(self, var: str) -> None:
+        loc = self._mapping().get(var)
+        if loc and loc.startswith("x") and self._owner_stack:
+            owner = self._owner_stack[-1].get(loc, var)
+            if owner != var:
+                self.violations.append(
+                    "%s: use of %r in %s, but %s last defined it"
+                    % (self._fn_stack[-1], var, loc, owner))
+
+    def exec_stmt(self, s, env, mem, trace):
+        if isinstance(s, (FSetLit,)):
+            self._note_def(s.dst)
+        elif isinstance(s, FSetVar):
+            self._check_use(s.src)
+        elif isinstance(s, FOp):
+            self._check_use(s.lhs), self._check_use(s.rhs)
+        elif isinstance(s, FLoad):
+            self._check_use(s.addr)
+        elif isinstance(s, FStore):
+            self._check_use(s.addr), self._check_use(s.value)
+        elif isinstance(s, FWhile):
+            pass  # cond var checked when its computing stmt runs
+        elif isinstance(s, (FCall, FInteract)):
+            for a in s.args:
+                self._check_use(a)
+        if isinstance(s, FCall):
+            fn = self.program.get(s.func)
+            if fn is not None:
+                # Enter callee shadow frame.
+                self._owner_stack.append({})
+                self._fn_stack.append(s.func)
+                for p in fn.params:
+                    self._note_def(p)
+                callee_env = {p: env[a] for p, a in zip(fn.params, s.args)}
+                self.exec_stmts(fn.body, callee_env, mem, trace)
+                for r in fn.rets:
+                    self._check_use(r)
+                self._owner_stack.pop()
+                self._fn_stack.pop()
+                for bind, ret in zip(s.binds, fn.rets):
+                    env[bind] = callee_env[ret]
+                    self._note_def(bind)
+                return
+        super().exec_stmt(s, env, mem, trace)
+        if isinstance(s, (FSetVar, FOp, FLoad)):
+            self._note_def(s.dst)
+        elif isinstance(s, FStackalloc):
+            self._note_def(s.dst)
+        elif isinstance(s, FInteract):
+            for b in s.binds:
+                self._note_def(b)
+
+
+def validate_allocation_dynamic(program: FProgram,
+                                mappings: Dict[str, Dict[str, str]],
+                                entry: str, args,
+                                ext: Optional[ExtHandler] = None,
+                                mem: Optional[Memory] = None,
+                                fuel: int = 5_000_000) -> List[str]:
+    """Run the shadow checker over one execution; returns violations."""
+    checker = ShadowChecker(program, mappings, ext=ext, fuel=fuel)
+    checker.run_function_checked(entry, args, mem=mem)
+    return checker.violations

@@ -1,0 +1,9 @@
+"""Integration layer: the end-to-end theorem checker, per-interface
+integration checks, the evaluation-table generators, and the latency
+measurement harness."""
+
+from . import end2end, integration, loc, parameterization, survey, timing
+from .end2end import run_adversarial, run_end_to_end
+
+__all__ = ["end2end", "integration", "loc", "survey", "parameterization",
+           "timing", "run_end_to_end", "run_adversarial"]

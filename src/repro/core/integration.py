@@ -1,0 +1,142 @@
+"""Per-interface integration checks (paper Figure 3's gray boxes).
+
+Each function checks one interface of the stack by running the two
+components on its sides against each other -- the executable counterpart
+of the paper's per-interface proofs. They are used by the test suite and
+timed by the verification-performance benchmark (§7.2.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..bedrock2.semantics import Memory, run_function, to_mmio_triples
+from ..bedrock2.smallstep import run_function_smallstep
+from ..compiler import compile_program, run_compiled
+from ..kami.refinement import check_refinement
+from ..platform.net import lightbulb_packet
+from ..riscv.machine import RiscvMachine
+from ..sw.program import compiled_lightbulb, lightbulb_program, make_platform
+from ..sw.specs import good_hl_trace
+
+
+@dataclass
+class CheckResult:
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_semantics_agreement() -> CheckResult:
+    """Interface: CPS/big-step semantics vs small-step semantics (§5.8)."""
+    prog = lightbulb_program()
+    plat_a = make_platform()
+    plat_b = make_platform()
+    rets_a, st_a = run_function(prog, "lightbulb_service", [2],
+                                ext=plat_a.ext_handler())
+    rets_b, st_b = run_function_smallstep(prog, "lightbulb_service", [2],
+                                          ext=plat_b.ext_handler())
+    ok = rets_a == rets_b and st_a.trace == st_b.trace
+    return CheckResult("bedrock2 big-step vs small-step", ok)
+
+
+def check_compiler_on_lightbulb() -> CheckResult:
+    """Interface: Bedrock2 semantics vs compiled RISC-V (§5.3), on the
+    real application: the interpreter's MMIO trace must equal the
+    machine's for the same device state evolution."""
+    prog = lightbulb_program()
+    # Source run.
+    plat_src = make_platform()
+    _, st = run_function(prog, "lightbulb_service", [3],
+                         ext=plat_src.ext_handler())
+    src_trace = to_mmio_triples(st.trace)
+    # Machine run: same platform config; run until the same number of MMIO
+    # events has been produced, then compare.
+    compiled = compiled_lightbulb(stack_top=1 << 16)
+    plat_mach = make_platform()
+    machine = RiscvMachine.with_program(compiled.image, mem_size=1 << 16,
+                                        mmio_bus=plat_mach.bus)
+    machine.run(3_000_000, stop=lambda m: len(m.trace) >= len(src_trace))
+    ok = machine.trace[:len(src_trace)] == src_trace
+    return CheckResult("compiler forward simulation (lightbulb)", ok,
+                       "" if ok else "traces diverge")
+
+
+def check_spec_vs_isa() -> CheckResult:
+    """Interface: single-cycle Kami spec vs ISA semantics (§5.8's
+    kstep1_sound), in lock-step on the lightbulb binary."""
+    from ..kami.refinement import build_spec_system
+
+    compiled = compiled_lightbulb(stack_top=1 << 16)
+    plat_kami = make_platform()
+    system = build_spec_system(compiled.image, plat_kami.kami_world(),
+                               ram_words=1 << 14)
+    proc = system.modules[0]
+    plat_isa = make_platform()
+    machine = RiscvMachine.with_program(compiled.image, mem_size=1 << 16,
+                                        mmio_bus=plat_isa.bus)
+    for i in range(20_000):
+        if system.step() is None:
+            break
+        machine.step()
+        if proc.regs["pc"] != machine.pc:
+            return CheckResult("processor-ISA consistency", False,
+                               "pc diverged at step %d" % i)
+        if proc.regs["rf"][1:] != machine.regs[1:]:
+            return CheckResult("processor-ISA consistency", False,
+                               "registers diverged at step %d" % i)
+    return CheckResult("processor-ISA consistency", True)
+
+
+def check_pipeline_refinement() -> CheckResult:
+    """Interface: pipelined processor vs single-cycle spec (§5.7), on the
+    lightbulb binary with a packet injected."""
+    compiled = compiled_lightbulb(stack_top=1 << 16)
+
+    def make_world():
+        plat = make_platform()
+        # Pre-arm a packet: it is accepted once the driver enables RX.
+        original = plat.lan.reg_write
+
+        def write_hook(addr, value):
+            original(addr, value)
+            if plat.lan.rx_enabled and not plat.lan.frames:
+                plat.lan.inject_frame(lightbulb_packet(True))
+
+        plat.lan.reg_write = write_hook
+        return plat.kami_world()
+
+    result = check_refinement(compiled.image, make_world, impl_steps=150_000,
+                              ram_words=1 << 14,
+                              icache_words=len(compiled.image) // 4 + 4,
+                              spec_step_budget=150_000)
+    return CheckResult("pipeline refines spec (lightbulb)", bool(result),
+                       result.detail)
+
+
+def check_end_to_end_spec() -> CheckResult:
+    """The composed theorem: p4mm trace is a prefix of goodHlTrace."""
+    from .end2end import run_end_to_end
+
+    result = run_end_to_end(
+        frames=[(10, lightbulb_packet(True)), (30, lightbulb_packet(False))],
+        processor="p4mm", max_units=120_000, checkpoint_every=4_000)
+    return CheckResult("end-to-end theorem (p4mm)", result.ok, result.detail)
+
+
+ALL_CHECKS: List[Callable[[], CheckResult]] = [
+    check_semantics_agreement,
+    check_compiler_on_lightbulb,
+    check_spec_vs_isa,
+    check_pipeline_refinement,
+    check_end_to_end_spec,
+]
+
+
+def run_all_checks() -> List[CheckResult]:
+    return [check() for check in ALL_CHECKS]

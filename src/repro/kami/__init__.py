@@ -1,0 +1,11 @@
+"""Kami-style hardware: rule-based framework, single-cycle spec processor,
+4-stage pipelined processor with I$ and BTB, and refinement checking
+(paper sections 5.5, 5.7, 6.4)."""
+
+from . import decexec, framework, memory, pipeline_proc, refinement, spec_proc
+from .framework import ExternalWorld, Module, System
+from .refinement import build_pipelined_system, build_spec_system, check_refinement
+
+__all__ = ["framework", "decexec", "memory", "spec_proc", "pipeline_proc",
+           "refinement", "Module", "System", "ExternalWorld",
+           "build_spec_system", "build_pipelined_system", "check_refinement"]

@@ -1,0 +1,79 @@
+"""The Kami memory + MMIO module (paper sections 5.5, 6.4).
+
+"The processor itself does not distinguish ordinary memory operations from
+MMIO. When the memory module is attached, it handles the loads and stores
+to memory addresses but makes designated external method calls for the
+rest." -- this module reproduces that factoring: it provides ``memFetch``,
+``memRead`` and ``memWrite`` (word-wide, with byte enables, like the FPGA
+BRAM the paper added byte-enable signals for); requests outside the RAM
+range are forwarded to the external methods ``mmioRead``/``mmioWrite``,
+which is where the system's observable trace is produced.
+
+As in Kami (paper §5.8), RAM addressing has no undefined behavior: the word
+index wraps modulo the RAM size.
+"""
+
+from __future__ import annotations
+
+from .framework import Module, RuleAbort
+
+
+def make_memory_module(image: bytes, ram_words: int = 1 << 18,
+                       name: str = "mem") -> Module:
+    """A word-addressed BRAM initialized with ``image`` at address 0.
+
+    ``ram_words`` words of 4 bytes; addresses with word index >= ram_words
+    are treated as MMIO and forwarded externally.
+    """
+    module = Module(name)
+    words = [0] * ram_words
+    for i in range(0, len(image), 4):
+        chunk = image[i:i + 4].ljust(4, b"\x00")
+        words[i // 4] = int.from_bytes(chunk, "little")
+    module.reg("ram", words)
+    module.reg("ram_words", ram_words)
+
+    def is_ram(m: Module, addr: int) -> bool:
+        return (addr >> 2) < m.regs["ram_words"]
+
+    def mem_fetch(m: Module, addr: int) -> int:
+        # Instruction fetches wrap modulo the RAM size (Kami-style).
+        return m.regs["ram"][(addr >> 2) % m.regs["ram_words"]]
+
+    def mem_read(m: Module, addr: int) -> int:
+        if not is_ram(m, addr):
+            return m.sys.call("mmioRead", addr & 0xFFFFFFFC)
+        return m.regs["ram"][addr >> 2]
+
+    def mem_write(m: Module, addr: int, data: int, byteen: int) -> None:
+        if not is_ram(m, addr):
+            if byteen != 0b1111:
+                # Sub-word MMIO is not a defined operation on this platform;
+                # the rule performing it is simply never enabled.
+                raise RuleAbort("sub-word MMIO store")
+            m.sys.call("mmioWrite", addr & 0xFFFFFFFC, data)
+            return None
+        idx = addr >> 2
+        old = m.regs["ram"][idx]
+        new = 0
+        for b in range(4):
+            if (byteen >> b) & 1:
+                new |= data & (0xFF << (8 * b))
+            else:
+                new |= old & (0xFF << (8 * b))
+        m.regs["ram"][idx] = new
+        return None
+
+    def is_ram_method(m: Module, addr: int) -> int:
+        return 1 if is_ram(m, addr) else 0
+
+    module.method("memFetch", mem_fetch)
+    module.method("memRead", mem_read)
+    module.method("memWrite", mem_write)
+    module.method("memIsRam", is_ram_method)
+    return module
+
+
+def ram_snapshot(module: Module) -> list:
+    """The RAM word array (for icache-consistency checks)."""
+    return list(module.regs["ram"])

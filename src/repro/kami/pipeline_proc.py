@@ -1,0 +1,187 @@
+"""The four-stage pipelined Kami processor (paper Figure 4, section 5.5).
+
+Reproduces the paper's processor structure: IF / ID / EX / WB stages
+connected by FIFOs, an instruction cache filled eagerly from main memory at
+reset (the paper's addition for running programs from BRAM), a branch
+target buffer (BTB) for prediction, an epoch bit for squashing wrong-path
+instructions, and a scoreboard for RAW hazards. Byte-enable signals on the
+memory interface support ``lb``/``sb`` (the paper added these to reconcile
+the processor with RV32I).
+
+Decode and execute use the same combinational functions as the single-cycle
+spec (`repro.kami.decexec`) -- the sharing the paper leverages so ISA fixes
+never touch the refinement proof. The stale-instruction hazard of section
+5.6 is faithfully present: stores do *not* update the instruction cache, so
+self-modifying code diverges from the spec -- which is exactly why the
+compiler proves an XAddrs discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .decexec import DecodedInstr, decode_signals, exec_instr, load_result
+from .framework import Fifo, Module, RuleAbort
+from ..riscv.insts import InvalidInstruction
+
+
+@dataclass
+class F2D:
+    pc: int
+    pred: int
+    epoch: int
+    raw: int
+
+
+@dataclass
+class D2E:
+    pc: int
+    pred: int
+    epoch: int
+    dec: DecodedInstr
+    rs1: int
+    rs2: int
+
+
+@dataclass
+class E2W:
+    rd: Optional[int]
+    value: Optional[int]
+
+
+def make_pipelined_processor(reset_pc: int = 0, icache_words: int = 4096,
+                             fifo_depth: int = 2, btb_enabled: bool = True,
+                             name: str = "p4mm") -> Module:
+    """The paper's ``p4mm``: pipelined processor + I$ + BTB.
+
+    ``icache_words`` bounds the executable program region: at reset the
+    fill engine copies that many words from main memory into FPGA-BRAM-like
+    cache storage, after which fetch never touches main memory again.
+    """
+    module = Module(name)
+    module.reg("pc", reset_pc)
+    module.reg("epoch", 0)
+    module.reg("rf", [0] * 32)
+    module.reg("scoreboard", {})  # rd -> outstanding write count
+    module.reg("btb", {})         # pc -> predicted next pc
+    module.reg("icache", [0] * icache_words)
+    module.reg("fill_idx", 0)
+    module.reg("icache_ready", 0)
+    f2d = Fifo(module, "f2d", fifo_depth)
+    d2e = Fifo(module, "d2e", fifo_depth)
+    e2w = Fifo(module, "e2w", fifo_depth)
+
+    def fill(m: Module) -> None:
+        """Eager I$ fill from main memory upon reset (paper §5.5)."""
+        if m.regs["icache_ready"]:
+            raise RuleAbort("fill done")
+        idx = m.regs["fill_idx"]
+        m.regs["icache"][idx] = m.sys.call("memFetch", idx * 4)
+        idx += 1
+        m.regs["fill_idx"] = idx
+        if idx >= icache_words:
+            m.regs["icache_ready"] = 1
+
+    def fetch(m: Module) -> None:
+        if not m.regs["icache_ready"]:
+            raise RuleAbort("icache not ready")
+        if f2d.full():
+            raise RuleAbort("f2d full")
+        pc = m.regs["pc"]
+        if (pc >> 2) >= icache_words or pc % 4 != 0:
+            raise RuleAbort("pc outside instruction cache")
+        raw = m.regs["icache"][pc >> 2]
+        if btb_enabled:
+            pred = m.regs["btb"].get(pc, (pc + 4) & 0xFFFFFFFF)
+        else:
+            pred = (pc + 4) & 0xFFFFFFFF  # ablation: always predict fallthrough
+        f2d.enq(F2D(pc=pc, pred=pred, epoch=m.regs["epoch"], raw=raw))
+        m.regs["pc"] = pred
+
+    def stage_decode(m: Module) -> None:
+        entry: F2D = f2d.first()
+        if entry.epoch != m.regs["epoch"]:
+            f2d.deq()  # squashed in flight: drop silently
+            return
+        try:
+            dec = decode_signals(entry.raw)
+        except InvalidInstruction:
+            raise RuleAbort("invalid instruction reached decode")
+        sb = m.regs["scoreboard"]
+        # RAW hazards: wait for outstanding writes to sources; also WAW on rd.
+        for reg in (dec.src1, dec.src2,
+                    dec.instr.rd if dec.writes_rd else None):
+            if reg is not None and sb.get(reg, 0) > 0:
+                raise RuleAbort("scoreboard hazard on x%d" % reg)
+        if d2e.full():
+            raise RuleAbort("d2e full")
+        f2d.deq()
+        rf = m.regs["rf"]
+        rs1 = rf[dec.src1] if dec.src1 is not None else 0
+        rs2 = rf[dec.src2] if dec.src2 is not None else 0
+        if dec.writes_rd and dec.instr.rd != 0:
+            sb[dec.instr.rd] = sb.get(dec.instr.rd, 0) + 1
+        d2e.enq(D2E(pc=entry.pc, pred=entry.pred, epoch=entry.epoch,
+                    dec=dec, rs1=rs1, rs2=rs2))
+
+    def stage_execute(m: Module) -> None:
+        entry: D2E = d2e.first()
+        dec = entry.dec
+        sb = m.regs["scoreboard"]
+        if entry.epoch != m.regs["epoch"]:
+            d2e.deq()
+            if dec.writes_rd and dec.instr.rd != 0:
+                sb[dec.instr.rd] = sb.get(dec.instr.rd, 0) - 1
+            return
+        if e2w.full():
+            raise RuleAbort("e2w full")
+        res = exec_instr(dec, entry.pc, entry.rs1, entry.rs2)
+        rd_value = res.rd_value
+        # Guards precede effects: alignment checks before any memory call.
+        if dec.is_load or dec.is_store:
+            if res.mem_addr % dec.mem_size != 0:
+                raise RuleAbort("misaligned access")
+        if dec.is_load:
+            is_ram = m.sys.call("memIsRam", res.mem_addr)
+            if not is_ram and dec.mem_size != 4:
+                raise RuleAbort("sub-word MMIO load")
+        d2e.deq()
+        if dec.is_load:
+            word_val = m.sys.call("memRead", res.mem_addr & 0xFFFFFFFC)
+            shift = res.mem_addr & 3
+            raw_val = (word_val >> (8 * shift)) & ((1 << (8 * dec.mem_size)) - 1)
+            rd_value = load_result(dec, raw_val)
+        elif dec.is_store:
+            shift = res.mem_addr & 3
+            byteen = ((1 << dec.mem_size) - 1) << shift
+            data = (res.store_value << (8 * shift)) & 0xFFFFFFFF
+            m.sys.call("memWrite", res.mem_addr & 0xFFFFFFFC, data, byteen)
+        if res.next_pc != entry.pred:
+            # Mispredict: flip the epoch, redirect fetch, train the BTB.
+            m.regs["epoch"] ^= 1
+            m.regs["pc"] = res.next_pc
+            if btb_enabled:
+                btb = m.regs["btb"]
+                if res.taken:
+                    btb[entry.pc] = res.next_pc
+                else:
+                    btb.pop(entry.pc, None)
+        e2w.enq(E2W(rd=dec.instr.rd if dec.writes_rd else None,
+                    value=rd_value))
+
+    def stage_writeback(m: Module) -> None:
+        entry: E2W = e2w.deq()
+        if entry.rd is not None:
+            if entry.rd != 0 and entry.value is not None:
+                m.regs["rf"][entry.rd] = entry.value
+            sb = m.regs["scoreboard"]
+            sb[entry.rd] = sb.get(entry.rd, 0) - 1
+
+    # Priority order: drain the back of the pipe first so FIFOs make room.
+    module.rule("writeback", stage_writeback)
+    module.rule("execute", stage_execute)
+    module.rule("decode", stage_decode)
+    module.rule("fetch", fetch)
+    module.rule("fill", fill)
+    return module

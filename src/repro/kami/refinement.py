@@ -1,0 +1,91 @@
+"""Trace-containment refinement checking (paper section 5.7).
+
+The paper proves the pipelined processor refines the single-cycle spec:
+every trace of the implementation is a trace of the spec. Our executable
+analogue runs both processors against *independent copies* of the same
+deterministic external world and checks that the implementation's MMIO
+label trace is a prefix of (or equal to) the spec's.
+
+Determinism makes this sound and complete for a given world: the spec,
+being single-cycle and deterministic, has exactly one trace per world, so
+prefix-of-that-trace is precisely trace containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .framework import ExternalWorld, System
+from .memory import make_memory_module
+from .pipeline_proc import make_pipelined_processor
+from .spec_proc import make_spec_processor
+
+
+@dataclass
+class RefinementResult:
+    ok: bool
+    impl_trace: List[Tuple[str, int, int]]
+    spec_trace: List[Tuple[str, int, int]]
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def build_spec_system(image: bytes, world: ExternalWorld,
+                      ram_words: int = 1 << 16,
+                      snapshot_rollback: bool = False) -> System:
+    """Single-cycle spec processor attached to memory and ``world``.
+
+    The processor rules follow the guards-before-effects discipline, so the
+    fast no-snapshot scheduler is sound (see `repro.kami.framework.System`)."""
+    mem = make_memory_module(image, ram_words=ram_words)
+    proc = make_spec_processor()
+    return System([proc, mem], world, snapshot_rollback=snapshot_rollback)
+
+
+def build_pipelined_system(image: bytes, world: ExternalWorld,
+                           ram_words: int = 1 << 16,
+                           icache_words: int = 4096,
+                           snapshot_rollback: bool = False) -> System:
+    """The paper's p4mm: pipelined processor + I$ + BTB + memory."""
+    mem = make_memory_module(image, ram_words=ram_words)
+    proc = make_pipelined_processor(icache_words=icache_words)
+    return System([proc, mem], world, snapshot_rollback=snapshot_rollback)
+
+
+def check_refinement(image: bytes, make_world: Callable[[], ExternalWorld],
+                     impl_steps: int, ram_words: int = 1 << 16,
+                     icache_words: int = 1024,
+                     spec_step_budget: Optional[int] = None) -> RefinementResult:
+    """Run the pipelined implementation for ``impl_steps`` Kami steps and
+    check its MMIO trace is a prefix of the spec's trace on the same world.
+
+    ``make_world`` must construct a fresh, deterministic external world
+    each call (both processors get their own copy).
+    """
+    impl = build_pipelined_system(image, make_world(), ram_words=ram_words,
+                                  icache_words=icache_words)
+    impl.run(impl_steps)
+    impl_trace = impl.mmio_trace()
+
+    spec = build_spec_system(image, make_world(), ram_words=ram_words)
+    budget = spec_step_budget if spec_step_budget is not None else impl_steps
+
+    def spec_caught_up(system: System) -> bool:
+        return len(system.mmio_trace()) >= len(impl_trace)
+
+    spec.run(budget, stop=spec_caught_up)
+    spec_trace = spec.mmio_trace()
+
+    if spec_trace[:len(impl_trace)] == impl_trace:
+        return RefinementResult(True, impl_trace, spec_trace)
+    for i, (a, b) in enumerate(zip(impl_trace, spec_trace)):
+        if a != b:
+            return RefinementResult(
+                False, impl_trace, spec_trace,
+                "divergence at event %d: impl %r vs spec %r" % (i, a, b))
+    return RefinementResult(
+        False, impl_trace, spec_trace,
+        "impl trace longer than spec could produce")

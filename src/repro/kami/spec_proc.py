@@ -1,0 +1,60 @@
+"""The single-cycle specification processor (paper section 5.7).
+
+This is the "spec" side of the Kami refinement: one rule executes one whole
+instruction per step, using the *same* combinational decode/execute logic
+as the pipelined implementation (`repro.kami.decexec`). The pipelined
+processor's trace set must be contained in this module's -- checked by
+`repro.kami.refinement`.
+"""
+
+from __future__ import annotations
+
+from .decexec import decode_signals, exec_instr, load_result
+from .framework import Module, RuleAbort
+from ..riscv.insts import InvalidInstruction
+
+
+def make_spec_processor(reset_pc: int = 0, name: str = "spec") -> Module:
+    """A Kami module with registers ``pc``/``rf`` and one rule ``execOne``."""
+    module = Module(name)
+    module.reg("pc", reset_pc)
+    module.reg("rf", [0] * 32)
+
+    def exec_one(m: Module) -> None:
+        pc = m.regs["pc"]
+        raw = m.sys.call("memFetch", pc)
+        try:
+            dec = decode_signals(raw)
+        except InvalidInstruction:
+            # No defined behavior: the processor stops making steps (the
+            # software-oriented semantics calls this state undefined).
+            raise RuleAbort("invalid instruction")
+        rf = m.regs["rf"]
+        rs1 = rf[dec.src1] if dec.src1 is not None else 0
+        rs2 = rf[dec.src2] if dec.src2 is not None else 0
+        res = exec_instr(dec, pc, rs1, rs2)
+        rd_value = res.rd_value
+        if dec.is_load:
+            addr = res.mem_addr
+            if addr % dec.mem_size != 0:
+                raise RuleAbort("misaligned load")
+            is_ram = m.sys.call("memIsRam", addr)
+            if not is_ram and dec.mem_size != 4:
+                raise RuleAbort("sub-word MMIO load")
+            word_val = m.sys.call("memRead", addr & 0xFFFFFFFC)
+            raw_val = (word_val >> (8 * (addr & 3))) & ((1 << (8 * dec.mem_size)) - 1)
+            rd_value = load_result(dec, raw_val)
+        elif dec.is_store:
+            addr = res.mem_addr
+            if addr % dec.mem_size != 0:
+                raise RuleAbort("misaligned store")
+            shift = addr & 3
+            byteen = ((1 << dec.mem_size) - 1) << shift
+            data = (res.store_value << (8 * shift)) & 0xFFFFFFFF
+            m.sys.call("memWrite", addr & 0xFFFFFFFC, data, byteen)
+        if dec.writes_rd and dec.instr.rd != 0 and rd_value is not None:
+            rf[dec.instr.rd] = rd_value
+        m.regs["pc"] = res.next_pc
+
+    module.rule("execOne", exec_one)
+    return module

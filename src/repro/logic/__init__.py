@@ -1,0 +1,19 @@
+"""Logical substrate: terms, intervals, SAT, bit-blasting, portfolio solver.
+
+This package stands in for the fragment of Coq's logic that the paper's
+verification conditions live in (quantifier-free bitvector formulas). See
+DESIGN.md for the substitution rationale.
+"""
+
+from . import terms
+from .solver import ProofFailure, Result, SolverTimeout, check_valid, is_satisfiable, prove
+
+__all__ = [
+    "terms",
+    "check_valid",
+    "prove",
+    "is_satisfiable",
+    "ProofFailure",
+    "SolverTimeout",
+    "Result",
+]

@@ -1,0 +1,171 @@
+"""Unsigned interval analysis over terms.
+
+A fast incomplete procedure used as a filter in front of the SAT solver:
+compute a conservative unsigned range ``[lo, hi]`` for every bitvector term,
+then try to refute boolean terms from the ranges. Sound for refutation
+("definitely false" / "definitely true"); returns ``None`` when undecided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from . import terms as T
+
+Range = Tuple[int, int]
+
+
+def _full(width: int) -> Range:
+    return (0, (1 << width) - 1)
+
+
+def bv_range(t: T.Term, env: Optional[Dict[T.Term, Range]] = None,
+             _cache: Optional[dict] = None) -> Range:
+    """A sound unsigned over-approximation of the values of ``t``.
+
+    ``env`` may pre-seed ranges for subterms (e.g. from path conditions).
+    """
+    if _cache is None:
+        _cache = {}
+    if env and t in env:
+        return env[t]
+    if t in _cache:
+        return _cache[t]
+    width = t.width
+    m = (1 << width) - 1
+    op = t.op
+    if op == "const":
+        r = (t.value, t.value)
+    elif op == "var":
+        r = _full(width)
+    elif op == "add":
+        (alo, ahi) = bv_range(t.args[0], env, _cache)
+        (blo, bhi) = bv_range(t.args[1], env, _cache)
+        if ahi + bhi <= m:
+            r = (alo + blo, ahi + bhi)
+        else:
+            r = _full(width)
+    elif op == "sub":
+        (alo, ahi) = bv_range(t.args[0], env, _cache)
+        (blo, bhi) = bv_range(t.args[1], env, _cache)
+        if alo - bhi >= 0:
+            r = (alo - bhi, ahi - blo)
+        else:
+            r = _full(width)
+    elif op == "mul":
+        (alo, ahi) = bv_range(t.args[0], env, _cache)
+        (blo, bhi) = bv_range(t.args[1], env, _cache)
+        if ahi * bhi <= m:
+            r = (alo * blo, ahi * bhi)
+        else:
+            r = _full(width)
+    elif op == "band":
+        (_, ahi) = bv_range(t.args[0], env, _cache)
+        (_, bhi) = bv_range(t.args[1], env, _cache)
+        r = (0, min(ahi, bhi))
+    elif op == "bor":
+        (alo, ahi) = bv_range(t.args[0], env, _cache)
+        (blo, bhi) = bv_range(t.args[1], env, _cache)
+        bits = max(ahi.bit_length(), bhi.bit_length())
+        r = (max(alo, blo), min(m, (1 << bits) - 1))
+    elif op == "bxor":
+        (_, ahi) = bv_range(t.args[0], env, _cache)
+        (_, bhi) = bv_range(t.args[1], env, _cache)
+        bits = max(ahi.bit_length(), bhi.bit_length())
+        r = (0, min(m, (1 << bits) - 1))
+    elif op == "shl":
+        if t.args[1].is_const():
+            amount = t.args[1].value % width
+            (alo, ahi) = bv_range(t.args[0], env, _cache)
+            if (ahi << amount) <= m:
+                r = (alo << amount, ahi << amount)
+            else:
+                r = _full(width)
+        else:
+            r = _full(width)
+    elif op == "lshr":
+        (alo, ahi) = bv_range(t.args[0], env, _cache)
+        if t.args[1].is_const():
+            amount = t.args[1].value % width
+            r = (alo >> amount, ahi >> amount)
+        else:
+            r = (0, ahi)
+    elif op == "extract":
+        hi, lo = t.attr
+        (_, ahi) = bv_range(t.args[0], env, _cache)
+        sub_m = (1 << (hi - lo + 1)) - 1
+        r = (0, min(sub_m, ahi >> lo) if lo == 0 else sub_m)
+    elif op == "zext":
+        r = bv_range(t.args[0], env, _cache)
+    elif op == "concat":
+        high, low = t.args
+        (hlo, hhi) = bv_range(high, env, _cache)
+        (llo, lhi) = bv_range(low, env, _cache)
+        r = ((hlo << low.width) + llo, (hhi << low.width) + lhi)
+    elif op == "ite":
+        (alo, ahi) = bv_range(t.args[1], env, _cache)
+        (blo, bhi) = bv_range(t.args[2], env, _cache)
+        r = (min(alo, blo), max(ahi, bhi))
+    elif op == "udiv":
+        (alo, ahi) = bv_range(t.args[0], env, _cache)
+        (blo, _) = bv_range(t.args[1], env, _cache)
+        if blo >= 1:
+            r = (0, ahi // blo)
+        else:
+            r = _full(width)  # division by zero gives all-ones
+    elif op == "urem":
+        (_, ahi) = bv_range(t.args[0], env, _cache)
+        (_, bhi) = bv_range(t.args[1], env, _cache)
+        r = (0, min(ahi, max(0, bhi - 1)) if bhi > 0 else ahi)
+    else:
+        r = _full(width)
+    _cache[t] = r
+    return r
+
+
+def decide_bool(t: T.Term, env: Optional[Dict[T.Term, Range]] = None,
+                _cache: Optional[dict] = None) -> Optional[bool]:
+    """Try to decide a boolean term from interval information alone."""
+    if _cache is None:
+        _cache = {}
+    op = t.op
+    if op == "const":
+        return bool(t.attr)
+    if op == "ult":
+        (alo, ahi) = bv_range(t.args[0], env, _cache)
+        (blo, bhi) = bv_range(t.args[1], env, _cache)
+        if ahi < blo:
+            return True
+        if alo >= bhi:
+            return False
+        return None
+    if op == "eq":
+        (alo, ahi) = bv_range(t.args[0], env, _cache)
+        (blo, bhi) = bv_range(t.args[1], env, _cache)
+        if ahi < blo or bhi < alo:
+            return False
+        if alo == ahi == blo == bhi:
+            return True
+        return None
+    if op == "not":
+        inner = decide_bool(t.args[0], env, _cache)
+        return None if inner is None else (not inner)
+    if op == "and":
+        any_unknown = False
+        for arg in t.args:
+            d = decide_bool(arg, env, _cache)
+            if d is False:
+                return False
+            if d is None:
+                any_unknown = True
+        return None if any_unknown else True
+    if op == "or":
+        any_unknown = False
+        for arg in t.args:
+            d = decide_bool(arg, env, _cache)
+            if d is True:
+                return True
+            if d is None:
+                any_unknown = True
+        return None if any_unknown else False
+    return None

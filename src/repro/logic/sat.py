@@ -1,0 +1,305 @@
+"""A CDCL SAT solver.
+
+This is the decision engine at the bottom of the verification stack: the
+bit-blaster (`repro.logic.bitblast`) reduces bitvector verification
+conditions to CNF, and this solver decides them. It implements the standard
+conflict-driven clause learning loop with two-watched-literal propagation,
+first-UIP clause learning, VSIDS-style activity decision heuristics, and
+Luby restarts.
+
+Literal convention: variables are positive integers ``1..n``; a literal is
+``+v`` or ``-v``. Clauses are lists of literals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+SATISFIABLE = "sat"
+UNSATISFIABLE = "unsat"
+
+
+class Solver:
+    """Incremental-construction CDCL solver (solve-once usage pattern)."""
+
+    def __init__(self):
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._assign: Dict[int, bool] = {}
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._reason: Dict[int, Optional[int]] = {}
+        self._level: Dict[int, int] = {}
+        self._activity: Dict[int, float] = {}
+        self._var_inc = 1.0
+        self._unsat = False
+
+    # -- construction -------------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        v = self.num_vars
+        self._activity[v] = 0.0
+        return v
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        clause = []
+        seen = set()
+        for lit in lits:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError("bad literal %d" % lit)
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self._unsat = True
+            return
+        self.clauses.append(clause)
+
+    # -- assignment helpers --------------------------------------------------
+
+    def _value(self, lit: int) -> Optional[bool]:
+        val = self._assign.get(abs(lit))
+        if val is None:
+            return None
+        return val if lit > 0 else not val
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> None:
+        var = abs(lit)
+        self._assign[var] = lit > 0
+        self._reason[var] = reason
+        self._level[var] = len(self._trail_lim)
+        self._trail.append(lit)
+
+    def _init_watches(self) -> bool:
+        self._watches = {}
+        units = []
+        for idx, clause in enumerate(self.clauses):
+            if len(clause) == 1:
+                units.append(clause[0])
+                continue
+            for lit in clause[:2]:
+                self._watches.setdefault(-lit, []).append(idx)
+        for lit in units:
+            val = self._value(lit)
+            if val is False:
+                return False
+            if val is None:
+                self._enqueue(lit, None)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns the index of a conflicting clause."""
+        head = 0
+        # continue from trail position of earliest unpropagated literal
+        head = self._prop_head
+        while head < len(self._trail):
+            lit = self._trail[head]
+            head += 1
+            watchers = self._watches.get(lit)
+            if not watchers:
+                continue
+            new_watchers = []
+            i = 0
+            while i < len(watchers):
+                ci = watchers[i]
+                i += 1
+                clause = self.clauses[ci]
+                # Ensure the falsified literal is clause[1].
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    new_watchers.append(ci)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(-clause[1], []).append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_watchers.append(ci)
+                if self._value(first) is False:
+                    # Conflict: restore remaining watchers.
+                    new_watchers.extend(watchers[i:])
+                    self._watches[lit] = new_watchers
+                    self._prop_head = len(self._trail)
+                    return ci
+                self._enqueue(first, ci)
+            self._watches[lit] = new_watchers
+        self._prop_head = head
+        return None
+
+    # -- conflict analysis ---------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] = self._activity.get(var, 0.0) + self._var_inc
+        if self._activity[var] > 1e100:
+            for v in self._activity:
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _analyze(self, conflict_idx: int):
+        """First-UIP learning. Returns (learned_clause, backtrack_level)."""
+        current_level = len(self._trail_lim)
+        seen = set()
+        learned = []
+        counter = 0
+        lits = list(self.clauses[conflict_idx])
+        trail_pos = len(self._trail) - 1
+        uip = None
+        while True:
+            for lit in lits:
+                var = abs(lit)
+                if var in seen or self._level[var] == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(lit)
+            # Find next literal on the trail to resolve on.
+            while trail_pos >= 0 and abs(self._trail[trail_pos]) not in seen:
+                trail_pos -= 1
+            if trail_pos < 0:
+                raise AssertionError("conflict analysis lost track of the trail")
+            uip_lit = self._trail[trail_pos]
+            trail_pos -= 1
+            seen.discard(abs(uip_lit))
+            counter -= 1
+            if counter == 0:
+                uip = -uip_lit
+                break
+            reason_idx = self._reason[abs(uip_lit)]
+            lits = [l for l in self.clauses[reason_idx] if l != uip_lit]
+        learned = [uip] + learned
+        if len(learned) == 1:
+            return learned, 0
+        # The second watch must be a literal at the backtrack level, so the
+        # two-watched-literal invariant holds for the learned clause.
+        best = max(range(1, len(learned)),
+                   key=lambda i: self._level[abs(learned[i])])
+        learned[1], learned[best] = learned[best], learned[1]
+        back_level = self._level[abs(learned[1])]
+        return learned, back_level
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in self._trail[limit:]:
+            var = abs(lit)
+            del self._assign[var]
+            self._reason.pop(var, None)
+            self._level.pop(var, None)
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._prop_head = min(self._prop_head, len(self._trail))
+
+    def _decide(self) -> Optional[int]:
+        best_var = None
+        best_act = -1.0
+        for v in range(1, self.num_vars + 1):
+            if v not in self._assign:
+                act = self._activity.get(v, 0.0)
+                if act > best_act:
+                    best_act = act
+                    best_var = v
+        if best_var is None:
+            return None
+        return -best_var  # negative polarity first: helps typical VC shapes
+
+    # -- main loop -----------------------------------------------------------
+
+    def solve(self, max_conflicts: Optional[int] = None) -> str:
+        if self._unsat:
+            return UNSATISFIABLE
+        self._prop_head = 0
+        if not self._init_watches():
+            return UNSATISFIABLE
+        conflicts = 0
+        luby_unit = 64
+        restart_limit = luby_unit * _luby(1)
+        restart_index = 1
+        conflicts_since_restart = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                conflicts_since_restart += 1
+                if max_conflicts is not None and conflicts > max_conflicts:
+                    raise BudgetExceeded(conflicts)
+                if not self._trail_lim:
+                    return UNSATISFIABLE
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                self.clauses.append(learned)
+                ci = len(self.clauses) - 1
+                if len(learned) > 1:
+                    for lit in learned[:2]:
+                        self._watches.setdefault(-lit, []).append(ci)
+                self._enqueue(learned[0], ci if len(learned) > 1 else None)
+                self._var_inc /= 0.95
+                if conflicts_since_restart >= restart_limit:
+                    self._backtrack(0)
+                    restart_index += 1
+                    restart_limit = luby_unit * _luby(restart_index)
+                    conflicts_since_restart = 0
+            else:
+                decision = self._decide()
+                if decision is None:
+                    return SATISFIABLE
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(decision, None)
+
+    def model(self) -> Dict[int, bool]:
+        """The satisfying assignment (valid after ``solve() == "sat"``)."""
+        return dict(self._assign)
+
+
+class BudgetExceeded(Exception):
+    """Raised when the solver exceeds its conflict budget."""
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8…
+
+    MiniSat's formulation: find the finite subsequence containing index i,
+    then the position within it."""
+    i -= 1  # to 0-indexed
+    size, seq = 1, 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) >> 1
+        seq -= 1
+        i = i % size
+    return 1 << seq
+
+
+def solve_cnf(num_vars: int, clauses: Iterable[Iterable[int]],
+              max_conflicts: Optional[int] = None):
+    """Convenience one-shot interface.
+
+    Returns ``("sat", model)`` or ``("unsat", None)``.
+    """
+    solver = Solver()
+    for _ in range(num_vars):
+        solver.new_var()
+    for clause in clauses:
+        solver.add_clause(clause)
+    result = solver.solve(max_conflicts=max_conflicts)
+    if result == SATISFIABLE:
+        model = solver.model()
+        for v in range(1, num_vars + 1):
+            model.setdefault(v, False)
+        return result, model
+    return result, None

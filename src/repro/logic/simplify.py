@@ -1,0 +1,190 @@
+"""Structural simplification beyond the smart constructors.
+
+The dominant shape of verification conditions in this system is *linear*
+bitvector arithmetic (address computations: base + 4*i + c) composed with
+masks and comparisons. This module normalizes linear subterms into a
+canonical sum-of-monomials form so that goals like
+
+    base + 4 + i == i + base + 4          (associativity/commutativity)
+    (x + y) - y == x                      (cancellation)
+
+collapse structurally and never reach the SAT solver -- the same division
+of labor the paper describes between Coq's ``ring``/``lia``-style tactics
+and harder bitvector goals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from . import terms as T
+
+# A linear form: (constant, {atom-term: coefficient}) over Z_{2^w}.
+Linear = Tuple[int, Dict[T.Term, int]]
+
+
+def linearize(t: T.Term) -> Linear:
+    """Decompose ``t`` into const + sum(coeff * atom) modulo 2^width."""
+    m = (1 << t.width) - 1
+    if t.is_const():
+        return t.value, {}
+    if t.op == "add":
+        c1, m1 = linearize(t.args[0])
+        c2, m2 = linearize(t.args[1])
+        return (c1 + c2) & m, _merge(m1, m2, 1, m)
+    if t.op == "sub":
+        c1, m1 = linearize(t.args[0])
+        c2, m2 = linearize(t.args[1])
+        return (c1 - c2) & m, _merge(m1, m2, -1, m)
+    if t.op == "mul":
+        lhs, rhs = t.args
+        if rhs.is_const():
+            c, mono = linearize(lhs)
+            k = rhs.value
+            return (c * k) & m, {a: (co * k) & m for a, co in mono.items()
+                                 if (co * k) & m != 0}
+        if lhs.is_const():
+            c, mono = linearize(rhs)
+            k = lhs.value
+            return (c * k) & m, {a: (co * k) & m for a, co in mono.items()
+                                 if (co * k) & m != 0}
+    if t.op == "shl" and t.args[1].is_const():
+        k = (1 << (t.args[1].value % t.width)) & m
+        c, mono = linearize(t.args[0])
+        return (c * k) & m, {a: (co * k) & m for a, co in mono.items()
+                             if (co * k) & m != 0}
+    return 0, {t: 1}
+
+
+def _merge(m1: Dict[T.Term, int], m2: Dict[T.Term, int], sign: int,
+           mask: int) -> Dict[T.Term, int]:
+    out = dict(m1)
+    for atom, coeff in m2.items():
+        new = (out.get(atom, 0) + sign * coeff) & mask
+        if new == 0:
+            out.pop(atom, None)
+        else:
+            out[atom] = new
+    return out
+
+
+def rebuild_linear(linear: Linear, width: int) -> T.Term:
+    """Rebuild a canonical term from a linear form (atoms sorted by a
+    deterministic key so equal forms yield identical terms).
+
+    Coefficients in the upper half of Z_{2^w} are treated as negative and
+    rebuilt with subtraction -- ``x - y`` must not become the SAT-hostile
+    ``x + 0xFFFFFFFF*y``."""
+    const_part, monomials = linear
+    items = sorted(monomials.items(), key=lambda kv: (repr(kv[0]), kv[1]))
+    half = 1 << (width - 1)
+    mask = (1 << width) - 1
+
+    def scaled(atom: T.Term, coeff: int) -> T.Term:
+        return atom if coeff == 1 else T.mul(atom, T.const(coeff, width))
+
+    acc: Optional[T.Term] = None
+    negatives = []
+    for atom, coeff in items:
+        if coeff >= half:
+            negatives.append((atom, (mask + 1 - coeff) & mask))
+            continue
+        piece = scaled(atom, coeff)
+        acc = piece if acc is None else T.add(acc, piece)
+    if acc is None and not negatives:
+        return T.const(const_part, width)
+    if acc is None:
+        acc = T.const(const_part, width)
+        const_part = 0
+    for atom, coeff in negatives:
+        acc = T.sub(acc, scaled(atom, coeff))
+    if const_part:
+        acc = T.add(acc, T.const(const_part, width))
+    return acc
+
+
+def normalize_bv(t: T.Term) -> T.Term:
+    """Canonicalize the linear structure of a bitvector term (recursing
+    through non-linear operators)."""
+    if t.op in ("const", "var"):
+        return t
+    if t.op in ("add", "sub", "mul", "shl"):
+        lin = linearize(_map_args(t, normalize_bv))
+        return rebuild_linear(lin, t.width)
+    return _map_args(t, normalize_bv)
+
+
+def _map_args(t: T.Term, fn) -> T.Term:
+    if not t.args:
+        return t
+    new_args = tuple(fn(a) if isinstance(a.sort, tuple) else simplify(a)
+                     for a in t.args)
+    if new_args == t.args:
+        return t
+    return _rebuild(t, new_args)
+
+
+def _rebuild(t: T.Term, args) -> T.Term:
+    op = t.op
+    if op in ("add", "sub", "mul", "udiv", "urem", "sdiv", "srem", "band",
+              "bor", "bxor", "shl", "lshr", "ashr"):
+        return T.bv_binop(op, args[0], args[1])
+    if op == "extract":
+        hi, lo = t.attr
+        return T.extract(args[0], hi, lo)
+    if op == "concat":
+        return T.concat(args[0], args[1])
+    if op == "zext":
+        return T.zext(args[0], t.width)
+    if op == "sext":
+        return T.sext(args[0], t.width)
+    if op == "eq":
+        return T.eq(args[0], args[1])
+    if op == "ult":
+        return T.ult(args[0], args[1])
+    if op == "slt":
+        return T.slt(args[0], args[1])
+    if op == "not":
+        return T.not_(args[0])
+    if op == "and":
+        return T.and_(*args)
+    if op == "or":
+        return T.or_(*args)
+    if op == "ite":
+        return T.ite(args[0], args[1], args[2])
+    raise ValueError("cannot rebuild %r" % op)
+
+
+def simplify(t: T.Term) -> T.Term:
+    """Simplify a boolean term: normalize linear arithmetic inside
+    comparisons, cancel equal sides, and fold through the connectives."""
+    if t.sort != T.BOOL:
+        return normalize_bv(t)
+    op = t.op
+    if op in ("const", "var"):
+        return t
+    if op == "eq" and isinstance(t.args[0].sort, tuple):
+        width = t.args[0].width
+        lhs = normalize_bv(t.args[0])
+        rhs = normalize_bv(t.args[1])
+        # Move everything to one side: lhs - rhs == 0 in linear form.
+        c1, m1 = linearize(lhs)
+        c2, m2 = linearize(rhs)
+        diff = _merge(m1, m2, -1, (1 << width) - 1)
+        dconst = (c1 - c2) & ((1 << width) - 1)
+        if not diff:
+            return T.bool_const(dconst == 0)
+        # Canonical: smallest atom keeps positive side.
+        return T.eq(rebuild_linear((0, diff), width),
+                    rebuild_linear((( -dconst) & ((1 << width) - 1), {}), width))
+    if op in ("ult", "slt"):
+        return _rebuild(t, tuple(normalize_bv(a) for a in t.args))
+    if op == "eq":  # boolean equality is not in our constructor set
+        return _rebuild(t, tuple(simplify(a) for a in t.args))
+    if op == "not":
+        return T.not_(simplify(t.args[0]))
+    if op == "and":
+        return T.and_(*(simplify(a) for a in t.args))
+    if op == "or":
+        return T.or_(*(simplify(a) for a in t.args))
+    return t

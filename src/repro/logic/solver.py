@@ -1,0 +1,136 @@
+"""The portfolio decision procedure for verification conditions.
+
+Plays the role of Coq's proof checking in the paper (section "What is
+checked" of DESIGN.md): verification conditions emitted by the program logic
+are *decided* here. The pipeline is:
+
+1. structural simplification (smart constructors already fold constants);
+2. unsigned interval analysis (`repro.logic.intervals`) as a cheap filter;
+3. bit-blasting to CNF + CDCL SAT (`repro.logic.bitblast`, `repro.logic.sat`).
+
+The result of `prove` is either success or a concrete counterexample model,
+which is validated by evaluation before being reported (the solver never
+reports an unchecked countermodel).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from . import terms as T
+from .bitblast import BitBlaster
+from .intervals import decide_bool
+from .sat import SATISFIABLE, BudgetExceeded
+from .simplify import simplify
+
+
+class ProofFailure(Exception):
+    """A verification condition is falsifiable; carries a countermodel."""
+
+    def __init__(self, goal: T.Term, model: Dict[str, int]):
+        self.goal = goal
+        self.model = model
+        super().__init__("VC falsified: %r under %r" % (goal, model))
+
+
+class SolverTimeout(Exception):
+    """The SAT backend exceeded its conflict budget."""
+
+
+# Decision-tier statistics for the solver-portfolio ablation: how many
+# validity queries each tier settled (reset with `reset_stats`).
+STATS = {"structural": 0, "interval": 0, "sat": 0}
+
+
+def reset_stats() -> None:
+    for key in STATS:
+        STATS[key] = 0
+
+
+class Result:
+    """Outcome of a validity check."""
+
+    __slots__ = ("valid", "model")
+
+    def __init__(self, valid: bool, model: Optional[Dict[str, int]] = None):
+        self.valid = valid
+        self.model = model
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+    def __repr__(self) -> str:
+        if self.valid:
+            return "Result(valid)"
+        return "Result(invalid, model=%r)" % (self.model,)
+
+
+def check_valid(goal: T.Term, hypotheses: Iterable[T.Term] = (),
+                max_conflicts: int = 2_000_000) -> Result:
+    """Decide whether ``hypotheses |= goal``.
+
+    Returns a `Result`; when invalid, ``result.model`` is a satisfying
+    assignment of ``hypotheses & ~goal`` (checked by evaluation).
+    """
+    hyps: List[T.Term] = [h for h in hypotheses]
+    formula = T.and_(*(hyps + [T.not_(goal)]))
+    if formula not in (T.TRUE, T.FALSE):
+        formula = simplify(formula)
+    if formula is T.FALSE:
+        STATS["structural"] += 1
+        return Result(True)
+    if formula is T.TRUE:
+        STATS["structural"] += 1
+        return Result(False, _arbitrary_model(formula, goal, hyps))
+    decided = decide_bool(formula)
+    if decided is False:
+        STATS["interval"] += 1
+        return Result(True)
+    STATS["sat"] += 1
+    blaster = BitBlaster()
+    blaster.assert_term(formula)
+    try:
+        outcome = blaster.solver.solve(max_conflicts=max_conflicts)
+    except BudgetExceeded as exc:
+        raise SolverTimeout("SAT budget exceeded (%s conflicts)" % exc) from exc
+    if outcome != SATISFIABLE:
+        return Result(True)
+    model = blaster.extract_model(blaster.solver.model())
+    _complete_model(model, goal, hyps)
+    # Sanity: the countermodel must actually falsify the implication.
+    assert T.evaluate(formula, model), "bit-blaster returned a bogus model"
+    return Result(False, model)
+
+
+def prove(goal: T.Term, hypotheses: Iterable[T.Term] = (),
+          max_conflicts: int = 2_000_000) -> None:
+    """Raise `ProofFailure` unless ``hypotheses |= goal``."""
+    result = check_valid(goal, hypotheses, max_conflicts=max_conflicts)
+    if not result.valid:
+        raise ProofFailure(goal, result.model)
+
+
+def is_satisfiable(formula: T.Term, max_conflicts: int = 2_000_000) -> Result:
+    """Decide satisfiability of ``formula``; model returned if sat."""
+    inverse = check_valid(T.not_(formula), max_conflicts=max_conflicts)
+    if inverse.valid:
+        return Result(False)
+    return Result(True, inverse.model)
+
+
+def _complete_model(model: Dict[str, int], goal: T.Term,
+                    hyps: List[T.Term]) -> None:
+    """Fill in variables the blaster never saw (eliminated by folding)."""
+    names = T.free_vars(goal)
+    for hyp in hyps:
+        T.free_vars(hyp, names)
+    for name, sort in names:
+        if name not in model:
+            model[name] = False if sort == T.BOOL else 0
+
+
+def _arbitrary_model(formula: T.Term, goal: T.Term,
+                     hyps: List[T.Term]) -> Dict[str, int]:
+    model: Dict[str, int] = {}
+    _complete_model(model, goal, hyps)
+    return model

@@ -1,0 +1,84 @@
+"""The MMIO device bus: the platform's memory map.
+
+This is the boundary the paper's end-to-end theorem speaks about: every
+MMIO load and store the processor issues crosses this bus and becomes a
+trace event. The address map mirrors the SiFive FE310 microcontroller the
+paper replicated its SPI and GPIO interfaces from (section 5.1), which is
+what allowed the authors to test hardware and software separately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# FE310-compatible memory map (section 5.1).
+GPIO_BASE = 0x10012000
+GPIO_SIZE = 0x1000
+SPI_BASE = 0x10024000
+SPI_SIZE = 0x1000
+
+MMIO_RANGES: List[Tuple[int, int]] = [
+    (GPIO_BASE, GPIO_BASE + GPIO_SIZE),
+    (SPI_BASE, SPI_BASE + SPI_SIZE),
+]
+
+
+class Device:
+    """A memory-mapped device occupying an address range."""
+
+    base = 0
+    size = 0
+
+    def read(self, offset: int) -> int:
+        raise NotImplementedError
+
+    def write(self, offset: int, value: int) -> None:
+        raise NotImplementedError
+
+    def covers(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+
+class MMIOBus:
+    """Routes word-aligned MMIO reads/writes to devices.
+
+    Reads from unmapped-but-in-range addresses return 0 and writes are
+    dropped, like a bus with no slave response check -- the *software* is
+    what is verified never to touch undefined registers."""
+
+    def __init__(self, devices=()):
+        self.devices = list(devices)
+
+    def attach(self, device: Device) -> None:
+        self.devices.append(device)
+
+    def is_mmio(self, addr: int) -> bool:
+        return any(lo <= addr < hi for lo, hi in MMIO_RANGES)
+
+    def read(self, addr: int) -> int:
+        for device in self.devices:
+            if device.covers(addr):
+                return device.read(addr - device.base) & 0xFFFFFFFF
+        return 0
+
+    def write(self, addr: int, value: int) -> None:
+        for device in self.devices:
+            if device.covers(addr):
+                device.write(addr - device.base, value & 0xFFFFFFFF)
+                return
+
+
+class KamiWorldAdapter:
+    """Presents an `MMIOBus` as a Kami `ExternalWorld` so the same device
+    models sit behind the Kami processors and the ISA-level machine."""
+
+    def __init__(self, bus: MMIOBus):
+        self.bus = bus
+
+    def call(self, method: str, args):
+        if method == "mmioRead":
+            return self.bus.read(args[0])
+        if method == "mmioWrite":
+            self.bus.write(args[0], args[1])
+            return None
+        raise KeyError("no provider for external method %r" % method)

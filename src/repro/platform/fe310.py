@@ -1,0 +1,36 @@
+"""FE310 baseline model: the "commercial RISC-V processor" of the paper.
+
+The paper's unverified prototype ran on a SiFive FE310 (Rocket RV32IMAC
+core) and the verified system's 10x latency gap is decomposed against it
+(section 7.2.1). We model the FE310 as the ISA-level machine with a
+1-instruction-per-cycle timing model (the paper approximates "the Rocket
+core as executing 1 instruction per cycle") attached to the same device
+bus as the Kami processor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..riscv.machine import RiscvMachine
+from .bus import MMIOBus
+
+
+class Fe310Machine(RiscvMachine):
+    """RiscvMachine with an FE310-like cycle counter: CPI = 1.
+
+    ``cycles`` is the timing observable the performance benchmarks report;
+    for the Kami pipelined processor the corresponding figure is the number
+    of scheduler cycles (see `repro.core.timing`)."""
+
+    @property
+    def cycles(self) -> int:
+        return self.instret
+
+
+def make_fe310_system(image: bytes, bus: MMIOBus,
+                      mem_size: int = 1 << 20) -> Fe310Machine:
+    """An FE310 with ``image`` in flash-mapped-at-0 memory and ``bus``
+    providing the SPI/GPIO peripherals."""
+    return Fe310Machine.with_program(image, base=0, pc=0, mem_size=mem_size,
+                                     mmio_bus=bus)

@@ -1,0 +1,55 @@
+"""GPIO device: the lightbulb power switch (paper Figure 2).
+
+FE310-style GPIO block: an output-enable register and an output-value
+register. The lightbulb's solid-state relay hangs off one pin; the device
+keeps a history of pin transitions so tests and the end-to-end checker can
+observe exactly when the bulb turned on or off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .bus import Device, GPIO_BASE
+
+# Register offsets (FE310 GPIO block).
+GPIO_OUTPUT_EN = 0x08
+GPIO_OUTPUT_VAL = 0x0C
+
+# The lightbulb relay pin (the original demo drives pin 23).
+LIGHTBULB_PIN = 23
+
+GPIO_OUTPUT_EN_ADDR = GPIO_BASE + GPIO_OUTPUT_EN
+GPIO_OUTPUT_VAL_ADDR = GPIO_BASE + GPIO_OUTPUT_VAL
+
+
+class Gpio(Device):
+    base = GPIO_BASE
+    size = 0x1000
+
+    def __init__(self):
+        self.output_en = 0
+        self.output_val = 0
+        # (event index, pin-23 level) transitions of the bulb.
+        self.bulb_history: List[int] = []
+
+    def read(self, offset: int) -> int:
+        if offset == GPIO_OUTPUT_EN:
+            return self.output_en
+        if offset == GPIO_OUTPUT_VAL:
+            return self.output_val
+        return 0
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == GPIO_OUTPUT_EN:
+            self.output_en = value
+        elif offset == GPIO_OUTPUT_VAL:
+            old_bulb = self.bulb_on
+            self.output_val = value
+            if self.bulb_on != old_bulb or not self.bulb_history:
+                self.bulb_history.append(1 if self.bulb_on else 0)
+
+    @property
+    def bulb_on(self) -> bool:
+        return bool((self.output_val >> LIGHTBULB_PIN) & 1
+                    and (self.output_en >> LIGHTBULB_PIN) & 1)

@@ -1,0 +1,249 @@
+"""LAN9250 Ethernet controller model (paper sections 3, 5.1).
+
+The LAN9250's API is "a range of SPI-accessible address space where reads
+and writes to different addresses correspond to different operations". This
+model implements the register subset the lightbulb driver uses:
+
+========== ======= ====================================================
+offset     name    behavior modeled
+========== ======= ====================================================
+0x00       RX_DATA_FIFO    pops one word of the active received frame
+0x40       RX_STATUS_FIFO  pops a status word: bits 16..29 = frame bytes
+0x64       BYTE_TEST       0x87654321 once powered up (garbage before)
+0x74       HW_CFG          READY bit 27 after power-up; config writable
+0x7C       RX_FIFO_INF     [23:16] status words used, [15:0] data bytes
+0xA4/0xA8  MAC_CSR_CMD/DATA indirect MAC registers (MAC_CR RX enable)
+0x1F8      RESET_CTL       digital reset (re-runs the power-up delay)
+========== ======= ====================================================
+
+The SPI transaction format is the chip's: command byte (0x03 read /
+0x0B fast-read with one dummy byte / 0x02 write), two address bytes
+big-endian, then little-endian data words, auto-incrementing, until chip
+deselect.
+
+Frames are injected with `inject_frame`; the model accepts frames up to
+``max_frame`` bytes (default 9000 -- oversize/jumbo frames *do* arrive on
+real networks, which is exactly why the paper's driver bug mattered; the
+protection the theorem guarantees lives in the driver, not here).
+"""
+
+from __future__ import annotations
+
+from typing import Deque, List, Optional
+
+from collections import deque
+
+from .spi import SpiSlave
+
+# Register offsets.
+RX_DATA_FIFO = 0x00
+RX_STATUS_FIFO = 0x40
+RX_STATUS_FIFO_PEEK = 0x44
+BYTE_TEST = 0x64
+FIFO_INT = 0x68
+RX_CFG = 0x6C
+HW_CFG = 0x74
+RX_FIFO_INF = 0x7C
+IRQ_CFG = 0x54
+MAC_CSR_CMD = 0xA4
+MAC_CSR_DATA = 0xA8
+RESET_CTL = 0x1F8
+
+BYTE_TEST_VALUE = 0x87654321
+HW_CFG_READY = 1 << 27
+# RX_CFG force-discard: clears the RX data and status FIFOs (the chip's
+# recovery path after software declines to drain a frame).
+RX_CFG_RX_DUMP = 1 << 15
+
+# MAC indirect registers.
+MAC_CR = 1
+MAC_CR_RXEN = 1 << 2
+MAC_CSR_BUSY = 1 << 31
+
+# SPI opcodes.
+CMD_READ = 0x03
+CMD_FAST_READ = 0x0B
+CMD_WRITE = 0x02
+
+
+class Lan9250(SpiSlave):
+    def __init__(self, power_up_reads: int = 3, max_frame: int = 2048):
+        self.power_up_reads = power_up_reads
+        self.max_frame = max_frame
+        self._powerup_countdown = power_up_reads
+        self.hw_cfg = 0
+        self.rx_cfg = 0
+        self.fifo_int = 0
+        self.irq_cfg = 0
+        self.mac_regs = {MAC_CR: 0}
+        self._mac_csr_cmd = 0
+        self._mac_csr_data = 0
+        self.frames: Deque[bytes] = deque()
+        self._active_words: List[int] = []
+        self.dropped_frames = 0
+        # SPI transaction state machine.
+        self._phase = "idle"
+        self._cmd = 0
+        self._addr_bytes: List[int] = []
+        self._addr = 0
+        self._out_bytes: List[int] = []
+        self._in_bytes: List[int] = []
+
+    # -- host-side API ---------------------------------------------------------
+
+    @property
+    def rx_enabled(self) -> bool:
+        return bool(self.mac_regs.get(MAC_CR, 0) & MAC_CR_RXEN)
+
+    def inject_frame(self, frame: bytes) -> bool:
+        """Deliver an Ethernet frame from the wire. Returns False if the
+        controller dropped it (receiver off or frame too large)."""
+        if not self.rx_enabled or len(frame) > self.max_frame or not frame:
+            self.dropped_frames += 1
+            return False
+        self.frames.append(bytes(frame))
+        return True
+
+    # -- register file ------------------------------------------------------------
+
+    def reg_read(self, addr: int) -> int:
+        if addr == BYTE_TEST:
+            if self._powerup_countdown > 0:
+                self._powerup_countdown -= 1
+                return 0xFFFFFFFF
+            return BYTE_TEST_VALUE
+        if addr == HW_CFG:
+            if self._powerup_countdown > 0:
+                self._powerup_countdown -= 1
+                return self.hw_cfg
+            return self.hw_cfg | HW_CFG_READY
+        if addr == RX_FIFO_INF:
+            status_words = len(self.frames)
+            data_bytes = sum(_padded_len(f) for f in self.frames) \
+                + 4 * len(self._active_words)
+            return ((status_words & 0xFF) << 16) | (data_bytes & 0xFFFF)
+        if addr in (RX_STATUS_FIFO, RX_STATUS_FIFO_PEEK):
+            if not self.frames:
+                return 0
+            frame = self.frames[0]
+            status = (len(frame) & 0x3FFF) << 16
+            if addr == RX_STATUS_FIFO:
+                self.frames.popleft()
+                self._active_words.extend(_frame_words(frame))
+            return status
+        if addr == RX_DATA_FIFO:
+            if self._active_words:
+                return self._active_words.pop(0)
+            return 0
+        if addr == RX_CFG:
+            return self.rx_cfg
+        if addr == FIFO_INT:
+            return self.fifo_int
+        if addr == IRQ_CFG:
+            return self.irq_cfg
+        if addr == MAC_CSR_CMD:
+            return self._mac_csr_cmd & ~MAC_CSR_BUSY  # completes immediately
+        if addr == MAC_CSR_DATA:
+            return self._mac_csr_data
+        if addr == RESET_CTL:
+            return 0
+        return 0
+
+    def reg_write(self, addr: int, value: int) -> None:
+        if addr == HW_CFG:
+            self.hw_cfg = value & ~HW_CFG_READY
+        elif addr == RX_CFG:
+            self.rx_cfg = value & ~RX_CFG_RX_DUMP
+            if value & RX_CFG_RX_DUMP:
+                # Force-discard: both FIFOs empty, alignment restored.
+                self.frames.clear()
+                self._active_words = []
+        elif addr == FIFO_INT:
+            self.fifo_int = value
+        elif addr == IRQ_CFG:
+            self.irq_cfg = value
+        elif addr == MAC_CSR_DATA:
+            self._mac_csr_data = value
+        elif addr == MAC_CSR_CMD:
+            self._mac_csr_cmd = value
+            index = value & 0xFF
+            if value & MAC_CSR_BUSY:
+                if value & (1 << 30):  # read command
+                    self._mac_csr_data = self.mac_regs.get(index, 0)
+                else:
+                    self.mac_regs[index] = self._mac_csr_data
+        elif addr == RESET_CTL:
+            if value & 1:
+                self._reset()
+
+    def _reset(self) -> None:
+        self._powerup_countdown = self.power_up_reads
+        self.hw_cfg = 0
+        self.mac_regs = {MAC_CR: 0}
+        self.frames.clear()
+        self._active_words = []
+        self._phase = "idle"
+
+    # -- SPI slave protocol ----------------------------------------------------------
+
+    def exchange(self, mosi: int) -> int:
+        mosi &= 0xFF
+        if self._phase == "idle":
+            if mosi in (CMD_READ, CMD_FAST_READ, CMD_WRITE):
+                self._cmd = mosi
+                self._addr_bytes = []
+                self._phase = "addr"
+            return 0xFF
+        if self._phase == "addr":
+            self._addr_bytes.append(mosi)
+            if len(self._addr_bytes) == 2:
+                self._addr = (self._addr_bytes[0] << 8) | self._addr_bytes[1]
+                if self._cmd == CMD_FAST_READ:
+                    self._phase = "dummy"
+                elif self._cmd == CMD_READ:
+                    self._begin_read()
+                else:
+                    self._in_bytes = []
+                    self._phase = "write_data"
+            return 0xFF
+        if self._phase == "dummy":
+            self._begin_read()
+            return 0xFF
+        if self._phase == "read_data":
+            if not self._out_bytes:
+                self._load_read_word()
+            return self._out_bytes.pop(0)
+        if self._phase == "write_data":
+            self._in_bytes.append(mosi)
+            if len(self._in_bytes) == 4:
+                value = int.from_bytes(bytes(self._in_bytes), "little")
+                self.reg_write(self._addr, value)
+                self._addr = (self._addr + 4) & 0xFFFF
+                self._in_bytes = []
+            return 0xFF
+        return 0xFF
+
+    def _begin_read(self) -> None:
+        self._phase = "read_data"
+        self._out_bytes = []
+
+    def _load_read_word(self) -> None:
+        value = self.reg_read(self._addr)
+        self._addr = (self._addr + 4) & 0xFFFF if self._addr not in (
+            RX_DATA_FIFO, RX_STATUS_FIFO) else self._addr
+        self._out_bytes = list(value.to_bytes(4, "little"))
+
+    def chip_deselect(self) -> None:
+        self._phase = "idle"
+        self._out_bytes = []
+        self._in_bytes = []
+
+
+def _padded_len(frame: bytes) -> int:
+    return (len(frame) + 3) & ~3
+
+
+def _frame_words(frame: bytes) -> List[int]:
+    padded = frame + bytes(_padded_len(frame) - len(frame))
+    return [int.from_bytes(padded[i:i + 4], "little")
+            for i in range(0, len(padded), 4)]

@@ -1,0 +1,141 @@
+"""Ethernet/IPv4/UDP frame construction and the lightbulb command packets.
+
+The workload generator for the evaluation: well-formed ON/OFF command
+packets, plus the malformed-at-every-layer variants used to exercise the
+``RecvInvalid`` arm of the specification (truncated frames, wrong
+ethertype, non-UDP protocol, oversize frames, random garbage).
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import List, Optional
+
+ETHERTYPE_IPV4 = 0x0800
+IP_PROTO_UDP = 0x11
+
+DEFAULT_DST_MAC = bytes.fromhex("0200000000fe")
+DEFAULT_SRC_MAC = bytes.fromhex("020000000001")
+LIGHTBULB_UDP_PORT = 1234
+
+# Offsets the lightbulb app inspects (paper section 5.1's validation).
+OFF_ETHERTYPE = 12
+OFF_IP_PROTO = 23
+OFF_CMD = 42
+MIN_VALID_LENGTH = 43  # must be able to read the command byte
+
+
+def ipv4_header(payload_len: int, proto: int = IP_PROTO_UDP,
+                src: bytes = b"\x0a\x00\x00\x01",
+                dst: bytes = b"\x0a\x00\x00\x02") -> bytes:
+    total = 20 + payload_len
+    header = struct.pack(">BBHHHBBH4s4s", 0x45, 0, total, 0, 0, 64, proto, 0,
+                         src, dst)
+    checksum = _ip_checksum(header)
+    return header[:10] + struct.pack(">H", checksum) + header[12:]
+
+
+def _ip_checksum(header: bytes) -> int:
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def udp_datagram(payload: bytes, sport: int = 40000,
+                 dport: int = LIGHTBULB_UDP_PORT) -> bytes:
+    return struct.pack(">HHHH", sport, dport, 8 + len(payload), 0) + payload
+
+
+def ethernet_frame(payload: bytes, ethertype: int = ETHERTYPE_IPV4,
+                   dst: bytes = DEFAULT_DST_MAC,
+                   src: bytes = DEFAULT_SRC_MAC) -> bytes:
+    return dst + src + struct.pack(">H", ethertype) + payload
+
+
+def lightbulb_packet(on: bool, extra_payload: bytes = b"") -> bytes:
+    """A well-formed command frame: first UDP payload byte's bit 0 selects
+    on/off (the paper: 'depending on the first byte of the received
+    packet')."""
+    command = bytes([0x01 if on else 0x00]) + extra_payload
+    udp = udp_datagram(command)
+    ip = ipv4_header(len(udp)) + udp
+    return ethernet_frame(ip)
+
+
+# -- malformed workloads -------------------------------------------------------
+
+def truncated_packet(length: int = 20) -> bytes:
+    """Too short to contain a command byte."""
+    return lightbulb_packet(True)[:length]
+
+
+def wrong_ethertype_packet(ethertype: int = 0x0806) -> bytes:
+    """E.g. an ARP frame: must be ignored."""
+    inner = lightbulb_packet(True)[14:]
+    return ethernet_frame(inner, ethertype=ethertype)
+
+
+def non_udp_packet(proto: int = 0x06) -> bytes:
+    """An IPv4/TCP-looking frame: must be ignored."""
+    udp = udp_datagram(b"\x01")
+    ip = ipv4_header(len(udp), proto=proto) + udp
+    return ethernet_frame(ip)
+
+
+def oversize_packet(size: int = 2000, on: bool = True) -> bytes:
+    """An oversize frame carrying a valid-looking command: larger than the
+    driver's 1520-byte buffer but within the NIC's ~2 KB FIFO, so it is
+    *delivered* -- the driver must reject it rather than overflow (the
+    paper's prototype bug). Frames beyond the NIC limit are dropped by the
+    MAC itself and never reach software."""
+    base = lightbulb_packet(on)
+    return base + bytes((i * 37) & 0xFF for i in range(size - len(base)))
+
+
+def random_garbage(rng: random.Random, max_len: int = 100) -> bytes:
+    return bytes(rng.randrange(256) for _ in range(rng.randint(1, max_len)))
+
+
+def adversarial_stream(rng: random.Random, count: int) -> List[bytes]:
+    """A mixed stream of valid and malicious frames for fuzzing the
+    end-to-end theorem."""
+    frames: List[bytes] = []
+    for _ in range(count):
+        choice = rng.randrange(7)
+        if choice == 0:
+            frames.append(lightbulb_packet(bool(rng.getrandbits(1))))
+        elif choice == 1:
+            frames.append(truncated_packet(rng.randint(1, 42)))
+        elif choice == 2:
+            frames.append(wrong_ethertype_packet(rng.randrange(0x10000)))
+        elif choice == 3:
+            frames.append(non_udp_packet(rng.randrange(256)))
+        elif choice == 4:
+            frames.append(oversize_packet(rng.randint(1521, 2040)))
+        elif choice == 5:
+            frames.append(random_garbage(rng))
+        else:
+            # Bit-flipped valid packet.
+            frame = bytearray(lightbulb_packet(bool(rng.getrandbits(1))))
+            for _ in range(rng.randint(1, 8)):
+                frame[rng.randrange(len(frame))] ^= 1 << rng.randrange(8)
+            frames.append(bytes(frame))
+    return frames
+
+
+def is_valid_command(frame: bytes) -> Optional[bool]:
+    """The *specification-level* packet validation: returns the commanded
+    state for frames the app must act on, None for frames it must ignore.
+    Mirrors the checks in the lightbulb app (length, ethertype, UDP)."""
+    if len(frame) < MIN_VALID_LENGTH or len(frame) > 1520:
+        return None
+    ethertype = (frame[OFF_ETHERTYPE] << 8) | frame[OFF_ETHERTYPE + 1]
+    if ethertype != ETHERTYPE_IPV4:
+        return None
+    if frame[OFF_IP_PROTO] != IP_PROTO_UDP:
+        return None
+    return bool(frame[OFF_CMD] & 1)

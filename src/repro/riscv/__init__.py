@@ -1,0 +1,6 @@
+"""The RISC-V instruction set: encoding, decoding, formal-style semantics,
+and executable machines (paper sections 5.4, 5.6, 6.2)."""
+
+from . import decode, encode, insts, machine, semantics
+
+__all__ = ["insts", "encode", "decode", "semantics", "machine"]

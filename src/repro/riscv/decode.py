@@ -1,0 +1,110 @@
+"""RISC-V instruction decoding.
+
+The inverse of `repro.riscv.encode`; used by the ISA-level machines and --
+critically for the paper's section 5.8 consistency story -- shared as the
+reference against which the Kami processors' combinational decode logic is
+checked (`repro.kami.decexec`). Round-tripping is property-tested in
+`tests/test_riscv_encode.py`.
+"""
+
+from __future__ import annotations
+
+from .insts import Instr, InvalidInstruction
+
+_R_BY_FUNCT = {
+    (0b000, 0b0000000): "add", (0b000, 0b0100000): "sub",
+    (0b001, 0b0000000): "sll", (0b010, 0b0000000): "slt",
+    (0b011, 0b0000000): "sltu", (0b100, 0b0000000): "xor",
+    (0b101, 0b0000000): "srl", (0b101, 0b0100000): "sra",
+    (0b110, 0b0000000): "or", (0b111, 0b0000000): "and",
+    (0b000, 0b0000001): "mul", (0b001, 0b0000001): "mulh",
+    (0b010, 0b0000001): "mulhsu", (0b011, 0b0000001): "mulhu",
+    (0b100, 0b0000001): "div", (0b101, 0b0000001): "divu",
+    (0b110, 0b0000001): "rem", (0b111, 0b0000001): "remu",
+}
+
+_I_ARITH_BY_FUNCT = {0b000: "addi", 0b010: "slti", 0b011: "sltiu",
+                     0b100: "xori", 0b110: "ori", 0b111: "andi"}
+_LOAD_BY_FUNCT = {0b000: "lb", 0b001: "lh", 0b010: "lw", 0b100: "lbu",
+                  0b101: "lhu"}
+_STORE_BY_FUNCT = {0b000: "sb", 0b001: "sh", 0b010: "sw"}
+_BRANCH_BY_FUNCT = {0b000: "beq", 0b001: "bne", 0b100: "blt", 0b101: "bge",
+                    0b110: "bltu", 0b111: "bgeu"}
+
+
+def _sext(value: int, bits: int) -> int:
+    if value >> (bits - 1):
+        return value - (1 << bits)
+    return value
+
+
+def decode(word: int) -> Instr:
+    """Decode a 32-bit word; raises `InvalidInstruction` on junk."""
+    word &= 0xFFFFFFFF
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == 0b0110011:  # R-type
+        name = _R_BY_FUNCT.get((funct3, funct7))
+        if name is None:
+            raise InvalidInstruction(word)
+        return Instr(name, rd=rd, rs1=rs1, rs2=rs2)
+
+    if opcode == 0b0010011:  # I-type arithmetic / shifts
+        if funct3 == 0b001:
+            if funct7 != 0:
+                raise InvalidInstruction(word)
+            return Instr("slli", rd=rd, rs1=rs1, imm=rs2)
+        if funct3 == 0b101:
+            if funct7 == 0b0000000:
+                return Instr("srli", rd=rd, rs1=rs1, imm=rs2)
+            if funct7 == 0b0100000:
+                return Instr("srai", rd=rd, rs1=rs1, imm=rs2)
+            raise InvalidInstruction(word)
+        name = _I_ARITH_BY_FUNCT.get(funct3)
+        if name is None:
+            raise InvalidInstruction(word)
+        return Instr(name, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+
+    if opcode == 0b0000011:  # loads
+        name = _LOAD_BY_FUNCT.get(funct3)
+        if name is None:
+            raise InvalidInstruction(word)
+        return Instr(name, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+
+    if opcode == 0b0100011:  # stores
+        name = _STORE_BY_FUNCT.get(funct3)
+        if name is None:
+            raise InvalidInstruction(word)
+        imm = (funct7 << 5) | rd
+        return Instr(name, rs1=rs1, rs2=rs2, imm=_sext(imm, 12))
+
+    if opcode == 0b1100011:  # branches
+        name = _BRANCH_BY_FUNCT.get(funct3)
+        if name is None:
+            raise InvalidInstruction(word)
+        imm = (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) \
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        return Instr(name, rs1=rs1, rs2=rs2, imm=_sext(imm, 13))
+
+    if opcode == 0b0110111:
+        return Instr("lui", rd=rd, imm=word >> 12)
+
+    if opcode == 0b0010111:
+        return Instr("auipc", rd=rd, imm=word >> 12)
+
+    if opcode == 0b1101111:  # jal
+        imm = (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) \
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        return Instr("jal", rd=rd, imm=_sext(imm, 21))
+
+    if opcode == 0b1100111:  # jalr
+        if funct3 != 0:
+            raise InvalidInstruction(word)
+        return Instr("jalr", rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+
+    raise InvalidInstruction(word)

@@ -1,0 +1,82 @@
+"""RISC-V disassembler: objdump-style listings of compiled images.
+
+Used by the CLI (`python -m repro disasm`) and handy when debugging the
+compiler; round-trips through `repro.riscv.decode`, so it is also a
+secondary consumer of the shared instruction model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .decode import decode
+from .insts import (
+    B_TYPE, I_ARITH, I_LOAD, I_SHIFT, Instr, InvalidInstruction, R_TYPE,
+    S_TYPE, U_TYPE,
+)
+
+# ABI register names.
+ABI_NAMES = (
+    "zero ra sp gp tp t0 t1 t2 s0 s1 a0 a1 a2 a3 a4 a5 a6 a7 "
+    "s2 s3 s4 s5 s6 s7 s8 s9 s10 s11 t3 t4 t5 t6"
+).split()
+
+
+def reg(n: Optional[int]) -> str:
+    return ABI_NAMES[n] if n is not None else "?"
+
+
+def format_instr(instr: Instr, pc: Optional[int] = None) -> str:
+    """One instruction in conventional assembly syntax."""
+    name = instr.name
+    if name in R_TYPE:
+        return "%-6s %s, %s, %s" % (name, reg(instr.rd), reg(instr.rs1),
+                                    reg(instr.rs2))
+    if name in I_ARITH or name in I_SHIFT:
+        return "%-6s %s, %s, %d" % (name, reg(instr.rd), reg(instr.rs1),
+                                    instr.imm)
+    if name in I_LOAD:
+        return "%-6s %s, %d(%s)" % (name, reg(instr.rd), instr.imm,
+                                    reg(instr.rs1))
+    if name in S_TYPE:
+        return "%-6s %s, %d(%s)" % (name, reg(instr.rs2), instr.imm,
+                                    reg(instr.rs1))
+    if name in B_TYPE:
+        target = ("0x%x" % ((pc + instr.imm) & 0xFFFFFFFF)
+                  if pc is not None else str(instr.imm))
+        return "%-6s %s, %s, %s" % (name, reg(instr.rs1), reg(instr.rs2),
+                                    target)
+    if name in U_TYPE:
+        return "%-6s %s, 0x%x" % (name, reg(instr.rd), instr.imm)
+    if name == "jal":
+        target = ("0x%x" % ((pc + instr.imm) & 0xFFFFFFFF)
+                  if pc is not None else str(instr.imm))
+        if instr.rd == 0:
+            return "j      %s" % target
+        return "%-6s %s, %s" % (name, reg(instr.rd), target)
+    if name == "jalr":
+        if instr.rd == 0 and instr.imm == 0:
+            return "jr     %s" % reg(instr.rs1)
+        return "%-6s %s, %d(%s)" % (name, reg(instr.rd), instr.imm,
+                                    reg(instr.rs1))
+    return str(instr)
+
+
+def disassemble(image: bytes, base: int = 0,
+                symbols: Optional[Dict[str, int]] = None) -> List[str]:
+    """An objdump-style listing: address, raw word, mnemonic, symbols."""
+    by_addr: Dict[int, List[str]] = {}
+    for name, addr in (symbols or {}).items():
+        by_addr.setdefault(addr, []).append(name)
+    lines: List[str] = []
+    for offset in range(0, len(image) - len(image) % 4, 4):
+        addr = base + offset
+        for name in sorted(by_addr.get(addr, [])):
+            lines.append("%s:" % name)
+        word = int.from_bytes(image[offset:offset + 4], "little")
+        try:
+            text = format_instr(decode(word), pc=addr)
+        except InvalidInstruction:
+            text = ".word  0x%08x" % word
+        lines.append("  %8x:\t%08x\t%s" % (addr, word, text))
+    return lines

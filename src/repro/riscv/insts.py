@@ -1,0 +1,130 @@
+"""The RV32IM instruction set (paper section 5.4).
+
+The paper uses RISC-V precisely because it is a *standardized* ISA with
+commercial implementations; this module defines the instruction vocabulary
+shared by the compiler backend, the encoder/decoder, the ISA semantics, and
+the Kami processors' decode logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+# Instruction mnemonics by format. RV32I base + M extension, which is the
+# subset the Bedrock2 compiler targets (the paper reconciled the Kami
+# processor with RV32I and the compiler emits M-extension multiply/divide).
+R_TYPE = (
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+    "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+)
+I_ARITH = ("addi", "slti", "sltiu", "xori", "ori", "andi")
+I_SHIFT = ("slli", "srli", "srai")
+I_LOAD = ("lb", "lh", "lw", "lbu", "lhu")
+S_TYPE = ("sb", "sh", "sw")
+B_TYPE = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+U_TYPE = ("lui", "auipc")
+J_TYPE = ("jal",)
+I_JUMP = ("jalr",)
+
+ALL_MNEMONICS = (R_TYPE + I_ARITH + I_SHIFT + I_LOAD + S_TYPE + B_TYPE
+                 + U_TYPE + J_TYPE + I_JUMP)
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One RISC-V instruction. Unused fields are None.
+
+    ``imm`` is stored as a plain (possibly negative) Python int with the
+    natural signedness of the format; encoding masks it appropriately.
+    """
+
+    name: str
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+
+    def __post_init__(self):
+        if self.name not in ALL_MNEMONICS:
+            raise ValueError("unknown mnemonic %r" % (self.name,))
+        for reg in (self.rd, self.rs1, self.rs2):
+            if reg is not None and not (0 <= reg < 32):
+                raise ValueError("bad register x%r" % (reg,))
+
+    def __str__(self):
+        parts = [self.name]
+        if self.rd is not None:
+            parts.append("x%d" % self.rd)
+        if self.rs1 is not None:
+            parts.append("x%d" % self.rs1)
+        if self.rs2 is not None:
+            parts.append("x%d" % self.rs2)
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        return " ".join(parts)
+
+
+class InvalidInstruction(Exception):
+    """Raised by the decoder on an unencodable/unknown word."""
+
+    def __init__(self, word: int):
+        self.word = word
+        super().__init__("invalid instruction word 0x%08x" % word)
+
+
+# Convenience constructors used by the compiler backend. Keeping these as
+# functions (rather than 40 classes) matches the paper's Haskell-derived
+# spec, where instructions are one algebraic datatype.
+
+def r_type(name, rd, rs1, rs2):
+    return Instr(name, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def i_type(name, rd, rs1, imm):
+    _check_imm12(name, imm)
+    return Instr(name, rd=rd, rs1=rs1, imm=imm)
+
+
+def shift_imm(name, rd, rs1, shamt):
+    if not (0 <= shamt < 32):
+        raise ValueError("shift amount out of range: %r" % (shamt,))
+    return Instr(name, rd=rd, rs1=rs1, imm=shamt)
+
+
+def load(name, rd, rs1, imm):
+    _check_imm12(name, imm)
+    return Instr(name, rd=rd, rs1=rs1, imm=imm)
+
+
+def store(name, rs1, rs2, imm):
+    _check_imm12(name, imm)
+    return Instr(name, rs1=rs1, rs2=rs2, imm=imm)
+
+
+def branch(name, rs1, rs2, imm):
+    if not (-4096 <= imm < 4096) or imm % 2 != 0:
+        raise ValueError("bad branch offset %r" % (imm,))
+    return Instr(name, rs1=rs1, rs2=rs2, imm=imm)
+
+
+def u_type(name, rd, imm):
+    if not (0 <= imm < (1 << 20)):
+        raise ValueError("bad U-type immediate %r" % (imm,))
+    return Instr(name, rd=rd, imm=imm)
+
+
+def jal(rd, imm):
+    if not (-(1 << 20) <= imm < (1 << 20)) or imm % 2 != 0:
+        raise ValueError("bad JAL offset %r" % (imm,))
+    return Instr("jal", rd=rd, imm=imm)
+
+
+def jalr(rd, rs1, imm):
+    _check_imm12("jalr", imm)
+    return Instr("jalr", rd=rd, rs1=rs1, imm=imm)
+
+
+def _check_imm12(name, imm):
+    if not (-2048 <= imm < 2048):
+        raise ValueError("immediate %r out of 12-bit range for %s" % (imm, name))

@@ -1,0 +1,231 @@
+"""RISC-V machine states instantiating the abstract ISA primitives.
+
+`RiscvMachine` is the software-oriented machine the compiler is verified
+against (paper sections 5.4, 5.6, 6.2):
+
+* flat partial byte memory ("owned" by the program);
+* loads/stores outside the owned memory are *nonmemory* accesses: with an
+  attached MMIO bus they become I/O-trace events (``("ld"/"st", addr,
+  value)`` triples); without a bus they are undefined behavior;
+* an XAddrs set of executable addresses implements the stale-instruction
+  discipline: fetching outside XAddrs is undefined behavior, and every
+  store removes the touched addresses from the set. (Internally the
+  *complement* -- addresses made non-executable by stores -- is tracked,
+  which is finite and cheap; at boot XAddrs covers all owned memory,
+  exactly as in the paper.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..bedrock2 import word
+from .decode import decode
+from .insts import InvalidInstruction
+from .semantics import Primitives, execute
+
+
+class RiscvUB(Exception):
+    """Undefined behavior at the ISA level: the software-oriented step
+    relation has no successor state (the paper's ``∀ S, ¬ swstep s S``)."""
+
+
+class MachineMemory:
+    """Owned memory: a contiguous RAM block plus sparse extra bytes.
+
+    Subscript access (``mem[addr]``) is byte-granular, mirroring the
+    map-of-bytes model in the paper's semantics, while staying O(1) in
+    space for the common "RAM at 0" layout."""
+
+    __slots__ = ("ram", "ram_base", "extra")
+
+    def __init__(self, ram_size: int = 0, ram_base: int = 0,
+                 sparse: Optional[Dict[int, int]] = None):
+        self.ram = bytearray(ram_size)
+        self.ram_base = ram_base
+        self.extra: Dict[int, int] = dict(sparse) if sparse else {}
+
+    def __contains__(self, addr: int) -> bool:
+        return (self.ram_base <= addr < self.ram_base + len(self.ram)
+                or addr in self.extra)
+
+    def __getitem__(self, addr: int) -> int:
+        if self.ram_base <= addr < self.ram_base + len(self.ram):
+            return self.ram[addr - self.ram_base]
+        return self.extra[addr]
+
+    def __setitem__(self, addr: int, value: int) -> None:
+        if self.ram_base <= addr < self.ram_base + len(self.ram):
+            self.ram[addr - self.ram_base] = value & 0xFF
+        elif addr in self.extra:
+            self.extra[addr] = value & 0xFF
+        else:
+            raise KeyError(addr)
+
+    def add_byte(self, addr: int, value: int) -> None:
+        """Extend the owned footprint by one byte (test setup helper)."""
+        if addr in self:
+            self[addr] = value
+        else:
+            self.extra[addr] = value & 0xFF
+
+
+class RiscvMachine(Primitives):
+    """Executable RISC-V machine with optional MMIO and XAddrs tracking."""
+
+    def __init__(self, memory: Optional[Dict[int, int]] = None, pc: int = 0,
+                 mmio_bus=None, track_xaddrs: bool = True,
+                 mmio_ranges: Optional[List[Tuple[int, int]]] = None):
+        self.regs = [0] * 32
+        self.pc = pc
+        self.mem = MachineMemory(sparse=memory)
+        self.mmio_bus = mmio_bus
+        self.mmio_ranges = mmio_ranges
+        self.trace: List[Tuple[str, int, int]] = []
+        self.track_xaddrs = track_xaddrs
+        # XAddrs = owned memory minus this set (paper section 5.6).
+        self.nonexec: Set[int] = set()
+        # Regions currently on loan to a DMA master (paper section 6.2):
+        # list of (base, length). CPU access inside a loan is UB.
+        self.loans: List[Tuple[int, int]] = []
+        self.instret = 0
+
+    @classmethod
+    def with_program(cls, image: bytes, base: int = 0, pc: int = 0,
+                     mem_size: int = 1 << 20, **kwargs) -> "RiscvMachine":
+        """A machine whose memory is ``mem_size`` zero bytes with ``image``
+        placed at ``base`` -- the end-to-end theorem's initial state."""
+        machine = cls(pc=pc, **kwargs)
+        machine.mem = MachineMemory(ram_size=mem_size, ram_base=0)
+        machine.mem.ram[base:base + len(image)] = image
+        return machine
+
+    # -- primitives -----------------------------------------------------------
+
+    def get_register(self, reg: int) -> int:
+        if reg == 0:
+            return 0
+        return self.regs[reg]
+
+    def set_register(self, reg: int, value: int) -> None:
+        if reg != 0:
+            self.regs[reg] = value & word.MASK
+
+    def get_pc(self) -> int:
+        return self.pc
+
+    def set_pc(self, value: int) -> None:
+        self.pc = value & word.MASK
+
+    def _owned(self, addr: int, nbytes: int) -> bool:
+        for i in range(nbytes):
+            a = word.add(addr, i)
+            if a not in self.mem:
+                return False
+            for base, length in self.loans:
+                if base <= a < base + length:
+                    return False
+        return True
+
+    # -- DMA ownership transfer (paper section 6.2) -----------------------------
+
+    def loan_out(self, base: int, length: int) -> None:
+        """Transfer ownership of [base, base+length) to an external master.
+        CPU accesses inside the region become undefined behavior until the
+        region is returned."""
+        self.loans.append((base, length))
+
+    def loan_return(self, base: int, data: Optional[bytes] = None) -> None:
+        """Return a loaned region, optionally with new contents written by
+        the device."""
+        for i, (b, length) in enumerate(self.loans):
+            if b == base:
+                del self.loans[i]
+                if data is not None:
+                    for j, byte in enumerate(data[:length]):
+                        self.mem[base + j] = byte
+                        if self.track_xaddrs:
+                            self.nonexec.add(base + j)
+                return
+        raise ValueError("no outstanding loan at 0x%x" % base)
+
+    def _is_mmio(self, addr: int) -> bool:
+        if self.mmio_bus is not None:
+            return self.mmio_bus.is_mmio(addr)
+        if self.mmio_ranges is not None:
+            return any(lo <= addr < hi for lo, hi in self.mmio_ranges)
+        return False
+
+    def load(self, nbytes: int, addr: int, kind: str = "execute") -> int:
+        if kind == "fetch":
+            if not self._owned(addr, nbytes):
+                raise RiscvUB("fetch from unowned address 0x%x" % addr)
+            if self.track_xaddrs:
+                for i in range(nbytes):
+                    if word.add(addr, i) in self.nonexec:
+                        raise RiscvUB(
+                            "fetch from non-executable address 0x%x "
+                            "(stale-instruction discipline)" % addr)
+            return self._load_owned(addr, nbytes)
+        if self._owned(addr, nbytes):
+            return self._load_owned(addr, nbytes)
+        # Nonmemory load (section 6.2): MMIO if in range, else UB.
+        if self._is_mmio(addr) and nbytes == 4:
+            if self.mmio_bus is not None:
+                value = self.mmio_bus.read(addr) & word.MASK
+            else:
+                value = 0
+            self.trace.append(("ld", addr, value))
+            return value
+        raise RiscvUB("load from unowned non-MMIO address 0x%x" % addr)
+
+    def _load_owned(self, addr: int, nbytes: int) -> int:
+        value = 0
+        for i in range(nbytes):
+            value |= self.mem[word.add(addr, i)] << (8 * i)
+        return value
+
+    def store(self, nbytes: int, addr: int, value: int) -> None:
+        if self._owned(addr, nbytes):
+            for i in range(nbytes):
+                a = word.add(addr, i)
+                self.mem[a] = (value >> (8 * i)) & 0xFF
+                if self.track_xaddrs:
+                    self.nonexec.add(a)
+            return
+        if self._is_mmio(addr) and nbytes == 4:
+            if self.mmio_bus is not None:
+                self.mmio_bus.write(addr, value)
+            self.trace.append(("st", addr, value))
+            return
+        raise RiscvUB("store to unowned non-MMIO address 0x%x" % addr)
+
+    def raise_exception(self, message: str) -> None:
+        raise RiscvUB(message)
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> None:
+        """Fetch-decode-execute one instruction."""
+        raw = self.load(4, self.pc, kind="fetch")
+        try:
+            instr = decode(raw)
+        except InvalidInstruction as exc:
+            raise RiscvUB("invalid instruction at pc=0x%x: %s"
+                          % (self.pc, exc)) from exc
+        execute(instr, self)
+        self.instret += 1
+
+    def run(self, max_steps: int, until_pc: Optional[int] = None,
+            stop: Optional[Callable[["RiscvMachine"], bool]] = None) -> int:
+        """Step up to ``max_steps`` times; returns the number of steps taken.
+
+        Stops early when the PC reaches ``until_pc`` or ``stop(self)`` holds
+        (checked before each step)."""
+        for i in range(max_steps):
+            if until_pc is not None and self.pc == until_pc:
+                return i
+            if stop is not None and stop(self):
+                return i
+            self.step()
+        return max_steps

@@ -1,0 +1,169 @@
+"""ISA semantics in the riscv-coq style (paper section 5.4).
+
+Following the paper's Haskell-derived specification, each instruction's
+meaning is given *only* in terms of a small set of abstract primitives
+(``get_register``, ``load_word``, ...) with no commitment to a state type.
+Different machines (`repro.riscv.machine`) instantiate the primitives:
+a deterministic executable machine, the compiler-facing machine with MMIO
+and executable-address (XAddrs) tracking, and the lock-step oracle used by
+the processor-ISA consistency tests.
+"""
+
+from __future__ import annotations
+
+from ..bedrock2 import word
+from .insts import Instr
+
+
+class Primitives:
+    """The abstract machine interface instructions are defined against.
+
+    ``kind`` on memory operations is "fetch" or "execute", letting
+    instantiations implement the XAddrs discipline of section 5.6.
+    """
+
+    def get_register(self, reg: int) -> int:
+        raise NotImplementedError
+
+    def set_register(self, reg: int, value: int) -> None:
+        raise NotImplementedError
+
+    def get_pc(self) -> int:
+        raise NotImplementedError
+
+    def set_pc(self, value: int) -> None:
+        raise NotImplementedError
+
+    def load(self, nbytes: int, addr: int, kind: str = "execute") -> int:
+        raise NotImplementedError
+
+    def store(self, nbytes: int, addr: int, value: int) -> None:
+        raise NotImplementedError
+
+    def raise_exception(self, message: str) -> None:
+        raise NotImplementedError
+
+
+def execute(instr: Instr, m: Primitives) -> None:
+    """Execute one decoded instruction against the primitives.
+
+    The PC is advanced here (or set by the jump/branch cases); callers fetch
+    and decode, then call this once per instruction.
+    """
+    name = instr.name
+    pc = m.get_pc()
+    next_pc = word.add(pc, 4)
+
+    def rs1() -> int:
+        return m.get_register(instr.rs1)
+
+    def rs2() -> int:
+        return m.get_register(instr.rs2)
+
+    imm = instr.imm
+
+    if name == "add":
+        m.set_register(instr.rd, word.add(rs1(), rs2()))
+    elif name == "sub":
+        m.set_register(instr.rd, word.sub(rs1(), rs2()))
+    elif name == "sll":
+        m.set_register(instr.rd, word.sll(rs1(), rs2() & 31))
+    elif name == "slt":
+        m.set_register(instr.rd, word.lts(rs1(), rs2()))
+    elif name == "sltu":
+        m.set_register(instr.rd, word.ltu(rs1(), rs2()))
+    elif name == "xor":
+        m.set_register(instr.rd, word.xor(rs1(), rs2()))
+    elif name == "srl":
+        m.set_register(instr.rd, word.srl(rs1(), rs2() & 31))
+    elif name == "sra":
+        m.set_register(instr.rd, word.sra(rs1(), rs2() & 31))
+    elif name == "or":
+        m.set_register(instr.rd, word.or_(rs1(), rs2()))
+    elif name == "and":
+        m.set_register(instr.rd, word.and_(rs1(), rs2()))
+    elif name == "mul":
+        m.set_register(instr.rd, word.mul(rs1(), rs2()))
+    elif name == "mulh":
+        product = word.signed(rs1()) * word.signed(rs2())
+        m.set_register(instr.rd, word.wrap(product >> 32))
+    elif name == "mulhsu":
+        product = word.signed(rs1()) * rs2()
+        m.set_register(instr.rd, word.wrap(product >> 32))
+    elif name == "mulhu":
+        m.set_register(instr.rd, word.mulhuu(rs1(), rs2()))
+    elif name == "div":
+        m.set_register(instr.rd, word.divs(rs1(), rs2()))
+    elif name == "divu":
+        m.set_register(instr.rd, word.divu(rs1(), rs2()))
+    elif name == "rem":
+        m.set_register(instr.rd, word.rems(rs1(), rs2()))
+    elif name == "remu":
+        m.set_register(instr.rd, word.remu(rs1(), rs2()))
+    elif name == "addi":
+        m.set_register(instr.rd, word.add(rs1(), word.wrap(imm)))
+    elif name == "slti":
+        m.set_register(instr.rd, word.lts(rs1(), word.wrap(imm)))
+    elif name == "sltiu":
+        m.set_register(instr.rd, word.ltu(rs1(), word.wrap(imm)))
+    elif name == "xori":
+        m.set_register(instr.rd, word.xor(rs1(), word.wrap(imm)))
+    elif name == "ori":
+        m.set_register(instr.rd, word.or_(rs1(), word.wrap(imm)))
+    elif name == "andi":
+        m.set_register(instr.rd, word.and_(rs1(), word.wrap(imm)))
+    elif name == "slli":
+        m.set_register(instr.rd, word.sll(rs1(), imm))
+    elif name == "srli":
+        m.set_register(instr.rd, word.srl(rs1(), imm))
+    elif name == "srai":
+        m.set_register(instr.rd, word.sra(rs1(), imm))
+    elif name in ("lb", "lh", "lw", "lbu", "lhu"):
+        addr = word.add(rs1(), word.wrap(imm))
+        size = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}[name]
+        if addr % size != 0:
+            m.raise_exception("misaligned load at 0x%x" % addr)
+            return
+        raw = m.load(size, addr, kind="execute")
+        if name == "lb":
+            raw = word.wrap(word.signed(raw, 8))
+        elif name == "lh":
+            raw = word.wrap(word.signed(raw, 16))
+        m.set_register(instr.rd, raw)
+    elif name in ("sb", "sh", "sw"):
+        addr = word.add(rs1(), word.wrap(imm))
+        size = {"sb": 1, "sh": 2, "sw": 4}[name]
+        if addr % size != 0:
+            m.raise_exception("misaligned store at 0x%x" % addr)
+            return
+        m.store(size, addr, rs2() & ((1 << (8 * size)) - 1))
+    elif name in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        lhs, rhs = rs1(), rs2()
+        taken = {
+            "beq": lhs == rhs,
+            "bne": lhs != rhs,
+            "blt": word.signed(lhs) < word.signed(rhs),
+            "bge": word.signed(lhs) >= word.signed(rhs),
+            "bltu": lhs < rhs,
+            "bgeu": lhs >= rhs,
+        }[name]
+        if taken:
+            next_pc = word.add(pc, word.wrap(imm))
+    elif name == "lui":
+        m.set_register(instr.rd, word.wrap(imm << 12))
+    elif name == "auipc":
+        m.set_register(instr.rd, word.add(pc, word.wrap(imm << 12)))
+    elif name == "jal":
+        m.set_register(instr.rd, next_pc)
+        next_pc = word.add(pc, word.wrap(imm))
+    elif name == "jalr":
+        target = word.and_(word.add(rs1(), word.wrap(imm)), 0xFFFFFFFE)
+        m.set_register(instr.rd, next_pc)
+        next_pc = target
+    else:
+        m.raise_exception("unimplemented instruction %r" % name)
+        return
+    if next_pc % 4 != 0:
+        m.raise_exception("misaligned jump target 0x%x" % next_pc)
+        return
+    m.set_pc(next_pc)

@@ -1,0 +1,10 @@
+"""The lightbulb software stack: SPI driver, LAN9250 driver, application
+(paper sections 3, 5.1), their trace specifications, and the program-logic
+verification runs."""
+
+from . import constants, lan9250_driver, lightbulb, program, spi_driver
+from .program import compiled_lightbulb, lightbulb_program, make_platform
+
+__all__ = ["constants", "spi_driver", "lan9250_driver", "lightbulb",
+           "program", "lightbulb_program", "make_platform",
+           "compiled_lightbulb"]

@@ -1,0 +1,60 @@
+"""Shared constants for the lightbulb software stack.
+
+These mirror the FE310 memory map implemented by `repro.platform` and the
+LAN9250 register layout -- the *interface* both the drivers (software side)
+and the device models (hardware side) are written against. A mismatch here
+is exactly the class of integration bug the paper targets.
+"""
+
+from ..platform.bus import GPIO_BASE, SPI_BASE
+from ..platform import gpio as _gpio
+from ..platform import lan9250 as _lan
+from ..platform import spi as _spi
+
+# MMIO addresses.
+SPI_TXDATA_ADDR = SPI_BASE + _spi.SPI_TXDATA
+SPI_RXDATA_ADDR = SPI_BASE + _spi.SPI_RXDATA
+SPI_CSMODE_ADDR = SPI_BASE + _spi.SPI_CSMODE
+GPIO_OUTPUT_EN_ADDR = GPIO_BASE + _gpio.GPIO_OUTPUT_EN
+GPIO_OUTPUT_VAL_ADDR = GPIO_BASE + _gpio.GPIO_OUTPUT_VAL
+
+LIGHTBULB_PIN = _gpio.LIGHTBULB_PIN
+
+# SPI CSMODE values.
+CSMODE_AUTO = _spi.CSMODE_AUTO
+CSMODE_HOLD = _spi.CSMODE_HOLD
+
+# LAN9250 registers and values.
+LAN_RX_DATA_FIFO = _lan.RX_DATA_FIFO
+LAN_RX_STATUS_FIFO = _lan.RX_STATUS_FIFO
+LAN_RX_CFG = _lan.RX_CFG
+RX_CFG_RX_DUMP = _lan.RX_CFG_RX_DUMP
+LAN_BYTE_TEST = _lan.BYTE_TEST
+LAN_HW_CFG = _lan.HW_CFG
+LAN_RX_FIFO_INF = _lan.RX_FIFO_INF
+LAN_MAC_CSR_CMD = _lan.MAC_CSR_CMD
+LAN_MAC_CSR_DATA = _lan.MAC_CSR_DATA
+LAN_RESET_CTL = _lan.RESET_CTL
+BYTE_TEST_VALUE = _lan.BYTE_TEST_VALUE
+HW_CFG_READY_BIT = 27
+MAC_CR = _lan.MAC_CR
+MAC_CR_RXEN = _lan.MAC_CR_RXEN
+MAC_CSR_BUSY = _lan.MAC_CSR_BUSY
+
+# SPI command opcodes for the LAN9250.
+CMD_FAST_READ = _lan.CMD_FAST_READ
+CMD_WRITE = _lan.CMD_WRITE
+
+# Driver timeout counters (total correctness: every loop terminates --
+# the paper added exactly this logic when proving totality, section 7.2.1).
+SPI_PATIENCE = 64
+BOOT_PATIENCE = 64
+
+# Receive buffer size in bytes (the famous constant: the initial prototype
+# confused words and bytes here and was remotely exploitable).
+RX_BUFFER_BYTES = 1520
+
+# Error codes returned by the drivers.
+ERR_NONE = 0
+ERR_TIMEOUT = 1
+ERR_OVERSIZE = 2

@@ -1,0 +1,192 @@
+"""The LAN9250 Ethernet device driver, in Bedrock2 (paper Figure 3).
+
+Word-granular register access over SPI (fast-read 0x0B / write 0x02 with
+big-endian addresses and little-endian data), the boot "incantations"
+(BootSeq in the spec), and frame reception with the *length check* whose
+absence made the paper's first prototype remotely exploitable.
+"""
+
+from __future__ import annotations
+
+from ..bedrock2.builder import (
+    block, call, func, if_, interact, lit, load1, set_, store4, var, while_,
+)
+from . import constants as C
+
+
+def make_lan9250_readword():
+    # CS hold; send FASTREAD, addr hi, addr lo, dummy; read 4 bytes LSB-first.
+    body = block(
+        interact([], "MMIOWRITE", lit(C.SPI_CSMODE_ADDR), lit(C.CSMODE_HOLD)),
+        call(("junk", "err"), "spi_xchg", lit(C.CMD_FAST_READ)),
+        set_("ret", lit(0)),
+        if_(var("err") == 0, call(("junk", "err"), "spi_xchg",
+                                  (var("addr") >> 8) & 0xFF)),
+        if_(var("err") == 0, call(("junk", "err"), "spi_xchg",
+                                  var("addr") & 0xFF)),
+        if_(var("err") == 0, call(("junk", "err"), "spi_xchg", lit(0))),
+        if_(var("err") == 0, block(
+            call(("b0", "err"), "spi_xchg", lit(0)),
+            if_(var("err") == 0, block(
+                call(("b1", "err"), "spi_xchg", lit(0)),
+                if_(var("err") == 0, block(
+                    call(("b2", "err"), "spi_xchg", lit(0)),
+                    if_(var("err") == 0, block(
+                        call(("b3", "err"), "spi_xchg", lit(0)),
+                        set_("ret", var("b0") | (var("b1") << 8)
+                             | (var("b2") << 16) | (var("b3") << 24)),
+                    )),
+                )),
+            )),
+        )),
+        interact([], "MMIOWRITE", lit(C.SPI_CSMODE_ADDR), lit(C.CSMODE_AUTO)),
+    )
+    return func("lan9250_readword", ("addr",), ("ret", "err"), body)
+
+
+def make_lan9250_writeword():
+    body = block(
+        interact([], "MMIOWRITE", lit(C.SPI_CSMODE_ADDR), lit(C.CSMODE_HOLD)),
+        call(("junk", "err"), "spi_xchg", lit(C.CMD_WRITE)),
+        if_(var("err") == 0, call(("junk", "err"), "spi_xchg",
+                                  (var("addr") >> 8) & 0xFF)),
+        if_(var("err") == 0, call(("junk", "err"), "spi_xchg",
+                                  var("addr") & 0xFF)),
+        if_(var("err") == 0, call(("junk", "err"), "spi_xchg",
+                                  var("w") & 0xFF)),
+        if_(var("err") == 0, call(("junk", "err"), "spi_xchg",
+                                  (var("w") >> 8) & 0xFF)),
+        if_(var("err") == 0, call(("junk", "err"), "spi_xchg",
+                                  (var("w") >> 16) & 0xFF)),
+        if_(var("err") == 0, call(("junk", "err"), "spi_xchg",
+                                  (var("w") >> 24) & 0xFF)),
+        interact([], "MMIOWRITE", lit(C.SPI_CSMODE_ADDR), lit(C.CSMODE_AUTO)),
+    )
+    return func("lan9250_writeword", ("addr", "w"), ("err",), body)
+
+
+def make_lan9250_wait_for_boot():
+    # Poll BYTE_TEST until the chip answers 0x87654321 (bounded).
+    body = block(
+        set_("err", lit(C.ERR_TIMEOUT)),
+        set_("i", lit(C.BOOT_PATIENCE)),
+        while_(var("i"), block(
+            call(("v", "e"), "lan9250_readword", lit(C.LAN_BYTE_TEST)),
+            if_(var("e") != 0,
+                set_("i", var("i") - 1),
+                if_(var("v") == C.BYTE_TEST_VALUE,
+                    block(set_("i", lit(0)), set_("err", lit(0))),
+                    set_("i", var("i") - 1))),
+        )),
+    )
+    return func("lan9250_wait_for_boot", (), ("err",), body)
+
+
+def make_lan9250_init():
+    # BootSeq: wait for BYTE_TEST, wait for HW_CFG.READY, enable MAC RX.
+    body = block(
+        call(("err",), "lan9250_wait_for_boot"),
+        if_(var("err") == 0, block(
+            # Poll HW_CFG until the READY bit rises (bounded).
+            set_("err", lit(C.ERR_TIMEOUT)),
+            set_("i", lit(C.BOOT_PATIENCE)),
+            while_(var("i"), block(
+                call(("v", "e"), "lan9250_readword", lit(C.LAN_HW_CFG)),
+                if_(var("e") != 0,
+                    set_("i", var("i") - 1),
+                    if_((var("v") >> C.HW_CFG_READY_BIT) & 1,
+                        block(set_("i", lit(0)), set_("err", lit(0))),
+                        set_("i", var("i") - 1))),
+            )),
+        )),
+        if_(var("err") == 0, block(
+            call(("err",), "lan9250_writeword", lit(C.LAN_MAC_CSR_DATA),
+                 lit(C.MAC_CR_RXEN)),
+            if_(var("err") == 0,
+                call(("err",), "lan9250_writeword", lit(C.LAN_MAC_CSR_CMD),
+                     lit(C.MAC_CSR_BUSY | C.MAC_CR))),
+        )),
+    )
+    return func("lan9250_init", (), ("err",), body)
+
+
+def _recv_body(length_check: bool):
+    """Frame reception; ``length_check=False`` reproduces the prototype's
+    buffer-overflow bug (a too-large frame overruns the 1520-byte buffer --
+    the exploit of paper section 3)."""
+    guard = (
+        if_(lit(C.RX_BUFFER_BYTES) < var("num_bytes"),
+            block(
+                # Too large for the buffer: refuse to drain it, and dump the
+                # RX FIFOs so the next frame starts aligned (the chip's
+                # RX_DUMP recovery bit).
+                set_("err", lit(C.ERR_OVERSIZE)),
+                call(("dumperr",), "lan9250_writeword", lit(C.LAN_RX_CFG),
+                     lit(C.RX_CFG_RX_DUMP)),
+            ),
+            call(("err",), "lan9250_drain", var("buf"), var("num_bytes")))
+        if length_check else
+        call(("err",), "lan9250_drain", var("buf"), var("num_bytes"))
+    )
+    return block(
+        set_("num_bytes", lit(0)),
+        call(("info", "err"), "lan9250_readword", lit(C.LAN_RX_FIFO_INF)),
+        if_(var("err") == 0, block(
+            # [23:16] = number of frames waiting in the status FIFO.
+            if_((var("info") >> 16) & 0xFF,
+                block(
+                    call(("status", "err"), "lan9250_readword",
+                         lit(C.LAN_RX_STATUS_FIFO)),
+                    if_(var("err") == 0, block(
+                        set_("num_bytes", (var("status") >> 16) & 0x3FFF),
+                        guard,
+                    )),
+                ),
+                set_("err", lit(0))),  # no packet: PollNone
+        )),
+    )
+
+
+def make_lan9250_drain():
+    # Read ceil(n/4) words of frame data into buf.
+    body = block(
+        set_("err", lit(0)),
+        set_("num_words", (var("n") + 3) >> 2),
+        set_("i", lit(0)),
+        while_(var("i") < var("num_words"), block(
+            call(("w", "e"), "lan9250_readword", lit(C.LAN_RX_DATA_FIFO)),
+            if_(var("e") != 0, block(
+                set_("err", var("e")),
+                set_("i", var("num_words")),  # abort the loop
+            ), block(
+                store4(var("buf") + (var("i") << 2), var("w")),
+                set_("i", var("i") + 1),
+            )),
+        )),
+    )
+    return func("lan9250_drain", ("buf", "n"), ("err",), body)
+
+
+def make_lan9250_tryrecv():
+    return func("lan9250_tryrecv", ("buf",), ("num_bytes", "err"),
+                _recv_body(length_check=True))
+
+
+def make_lan9250_tryrecv_buggy():
+    """The initial prototype's driver: no bound check before draining the
+    frame into the 1520-byte buffer. Kept (clearly marked) so the exploit
+    demo and the negative tests can show what the verification rules out."""
+    return func("lan9250_tryrecv", ("buf",), ("num_bytes", "err"),
+                _recv_body(length_check=False))
+
+
+def functions(buggy: bool = False):
+    recv = make_lan9250_tryrecv_buggy() if buggy else make_lan9250_tryrecv()
+    return {
+        "lan9250_readword": make_lan9250_readword(),
+        "lan9250_writeword": make_lan9250_writeword(),
+        "lan9250_wait_for_boot": make_lan9250_wait_for_boot(),
+        "lan9250_init": make_lan9250_init(),
+        "lan9250_drain": make_lan9250_drain(),
+        "lan9250_tryrecv": recv,
+    }

@@ -1,0 +1,100 @@
+"""The lightbulb application, in Bedrock2 (paper sections 3, 5.1).
+
+``lightbulb_init`` configures the GPIO pin and brings up the Ethernet
+controller; ``lightbulb_loop`` performs one event-loop iteration: poll for
+a frame, validate it (length, ethertype IPv4, protocol UDP), and drive the
+bulb from bit 0 of the first payload byte. "Any unexpected packet, no
+matter how maliciously malformed at any layer, is ignored, and the
+application does not send any packets."
+
+``main`` is the customary ``init(); while(1) loop()`` of embedded
+programming (section 5.2): it only exists in compiled form -- the Bedrock2
+semantics models terminating executions, so source-level runs use
+``lightbulb_service`` with an iteration bound instead.
+"""
+
+from __future__ import annotations
+
+from ..bedrock2.builder import (
+    block, call, func, if_, interact, lit, load1, set_, stackalloc, var, while_,
+)
+from . import constants as C
+
+# Packet offsets validated by the app (matching `repro.platform.net`).
+OFF_ETHERTYPE = 12
+OFF_IP_PROTO = 23
+OFF_CMD = 42
+MIN_VALID_LENGTH = 43
+ETHERTYPE_IPV4 = 0x0800
+IP_PROTO_UDP = 0x11
+
+
+def make_lightbulb_init():
+    body = block(
+        interact([], "MMIOWRITE", lit(C.GPIO_OUTPUT_EN_ADDR),
+                 lit(1 << C.LIGHTBULB_PIN)),
+        call(("err",), "lan9250_init"),
+    )
+    return func("lightbulb_init", (), ("err",), body)
+
+
+def make_lightbulb_loop():
+    # One poll-validate-actuate iteration over a caller-provided buffer.
+    body = block(
+        set_("err", lit(0)),
+        call(("l", "e"), "lan9250_tryrecv", var("buf")),
+        if_(var("e") != 0,
+            set_("err", var("e")),
+            if_(var("l") != 0, block(
+                # A frame arrived: validate it, ignore if malformed.
+                set_("ok", lit(1)),
+                if_(var("l") < MIN_VALID_LENGTH, set_("ok", lit(0))),
+                if_(var("ok"), block(
+                    set_("ethertype",
+                         (load1(var("buf") + OFF_ETHERTYPE) << 8)
+                         | load1(var("buf") + OFF_ETHERTYPE + 1)),
+                    if_(var("ethertype") != ETHERTYPE_IPV4, set_("ok", lit(0))),
+                )),
+                if_(var("ok"), block(
+                    set_("proto", load1(var("buf") + OFF_IP_PROTO)),
+                    if_(var("proto") != IP_PROTO_UDP, set_("ok", lit(0))),
+                )),
+                if_(var("ok"), block(
+                    set_("cmd", load1(var("buf") + OFF_CMD) & 1),
+                    interact([], "MMIOWRITE", lit(C.GPIO_OUTPUT_VAL_ADDR),
+                             var("cmd") << C.LIGHTBULB_PIN),
+                )),
+            ))),
+    )
+    return func("lightbulb_loop", ("buf",), ("err",), body)
+
+
+def make_main():
+    # init(); while(1) loop();  -- compiled-only entry point.
+    body = stackalloc("buf", C.RX_BUFFER_BYTES, block(
+        call(("err",), "lightbulb_init"),
+        while_(lit(1), call(("err",), "lightbulb_loop", var("buf"))),
+    ))
+    return func("main", (), (), body)
+
+
+def make_lightbulb_service():
+    # Bounded variant for source-level (terminating) executions: init, then
+    # n event-loop iterations. Returns the last error code.
+    body = stackalloc("buf", C.RX_BUFFER_BYTES, block(
+        call(("err",), "lightbulb_init"),
+        while_(var("n"), block(
+            call(("err",), "lightbulb_loop", var("buf")),
+            set_("n", var("n") - 1),
+        )),
+    ))
+    return func("lightbulb_service", ("n",), ("err",), body)
+
+
+def functions():
+    return {
+        "lightbulb_init": make_lightbulb_init(),
+        "lightbulb_loop": make_lightbulb_loop(),
+        "lightbulb_service": make_lightbulb_service(),
+        "main": make_main(),
+    }

@@ -1,0 +1,85 @@
+"""The SPI driver, in Bedrock2 (paper Figure 3, "SPI driver").
+
+Three functions over the FE310-style SPI peripheral:
+
+* ``spi_write(b) -> busy``: poll TXDATA's full flag (with a timeout
+  counter), then write the byte; ``busy`` is nonzero on timeout.
+* ``spi_read() -> (b, busy)``: poll RXDATA's empty flag, return the byte.
+* ``spi_xchg(b) -> (r, busy)``: one synchronous byte exchange -- the
+  verified code deliberately interleaves one-byte writes and reads, "the
+  simplest specification we could come up with" (section 7.2.1); the
+  FE310-pipelined variant lives in `repro.sw.fast` as the unverified
+  baseline.
+"""
+
+from __future__ import annotations
+
+from ..bedrock2.builder import (
+    block, call, func, if_, interact, lit, set_, var, while_,
+)
+from . import constants as C
+
+
+def make_spi_write():
+    # busy = -1; i = PATIENCE;
+    # while i: v = MMIOREAD(TXDATA);
+    #   if v >> 31: i -= 1            (still full: keep polling)
+    #   else: MMIOWRITE(TXDATA, b); i = 0; busy = 0
+    body = block(
+        set_("busy", lit(0xFFFFFFFF)),
+        set_("i", lit(C.SPI_PATIENCE)),
+        while_(var("i"), block(
+            interact(["v"], "MMIOREAD", lit(C.SPI_TXDATA_ADDR)),
+            if_(var("v") >> 31,
+                set_("i", var("i") - 1),
+                block(
+                    interact([], "MMIOWRITE", lit(C.SPI_TXDATA_ADDR),
+                             var("b") & 0xFF),
+                    set_("i", lit(0)),
+                    set_("busy", lit(0)),
+                )),
+        )),
+    )
+    return func("spi_write", ("b",), ("busy",), body)
+
+
+def make_spi_read():
+    # b = 0x5A (recognizable garbage); busy = -1; i = PATIENCE;
+    # while i: v = MMIOREAD(RXDATA);
+    #   if v >> 31: i -= 1             (empty: keep polling)
+    #   else: b = v & 0xFF; i = 0; busy = 0
+    body = block(
+        set_("b", lit(0x5A)),
+        set_("busy", lit(0xFFFFFFFF)),
+        set_("i", lit(C.SPI_PATIENCE)),
+        while_(var("i"), block(
+            interact(["v"], "MMIOREAD", lit(C.SPI_RXDATA_ADDR)),
+            if_(var("v") >> 31,
+                set_("i", var("i") - 1),
+                block(
+                    set_("b", var("v") & 0xFF),
+                    set_("i", lit(0)),
+                    set_("busy", lit(0)),
+                )),
+        )),
+    )
+    return func("spi_read", (), ("b", "busy"), body)
+
+
+def make_spi_xchg():
+    # SPI is synchronous: writing a byte shifts one in; exchange = write+read.
+    body = block(
+        call(("busy",), "spi_write", var("b")),
+        set_("r", lit(0)),
+        if_(var("busy") == 0,
+            call(("r", "busy"), "spi_read")),
+    )
+    return func("spi_xchg", ("b",), ("r", "busy"), body)
+
+
+def functions():
+    return {
+        "spi_write": make_spi_write(),
+        "spi_read": make_spi_read(),
+        "spi_xchg": make_spi_xchg(),
+    }

@@ -1,0 +1,326 @@
+"""Trace predicates: the specification language of paper section 3.1.
+
+Specifications are sets of legal I/O traces, written like regular
+expressions over MMIO events -- ``+++`` (concatenation), ``|||`` (union),
+``^*`` (Kleene star), and ``EX x:T, P`` (existential) -- but, as in the
+paper, they are ordinary functions over traces, so arbitrary guards over
+captured values are allowed.
+
+A trace is a list of ``("ld"/"st", addr, value)`` triples. Every predicate
+supports:
+
+* ``matches(trace)``   -- trace ∈ P;
+* ``prefix_of(trace)`` -- ∃ extension e, trace ++ e ∈ P. This is the
+  relation in the paper's end-to-end theorem (``prefix_of t'
+  goodHlTrace``): the theorem holds at *any* moment of execution, so the
+  observed trace need only be extendable to a legal one.
+
+Matching is implemented with *residuals*: ``P.residuals(trace, i, env)``
+yields every ``(j, env')`` with ``trace[i:j] ∈ P`` under captured bindings.
+Environments let multi-event transactions capture values (e.g. the bytes
+of a received packet) and guard on them -- the expressiveness the paper
+gets from higher-order logic.
+
+The Python operators ``+`` (concat), ``|`` (union) and ``.star()`` mirror
+the paper's notation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+Event = Tuple[str, int, int]
+Trace = List[Event]
+Env = Dict[str, int]
+
+
+class TracePred:
+    """Base class: a set of traces (with value capture)."""
+
+    def residuals(self, trace: Trace, start: int,
+                  env: Env) -> Iterator[Tuple[int, Env]]:
+        raise NotImplementedError
+
+    def partial(self, trace: Trace, start: int, env: Env) -> bool:
+        """Is ``trace[start:]`` a strict-or-equal prefix of some member?"""
+        raise NotImplementedError
+
+    # -- public API -------------------------------------------------------------
+
+    def matches(self, trace: Trace) -> bool:
+        return any(end == len(trace)
+                   for end, _ in self.residuals(list(trace), 0, {}))
+
+    def prefix_of(self, trace: Trace) -> bool:
+        """The end-to-end theorem's relation: the trace so far is consistent
+        with the specification (some completion exists)."""
+        return self.partial(list(trace), 0, {})
+
+    # -- combinator sugar ---------------------------------------------------------
+
+    def __add__(self, other: "TracePred") -> "TracePred":
+        return Concat(self, other)
+
+    def __or__(self, other: "TracePred") -> "TracePred":
+        return Union(self, other)
+
+    def star(self) -> "TracePred":
+        return Star(self)
+
+
+class Epsilon(TracePred):
+    """The empty trace."""
+
+    def residuals(self, trace, start, env):
+        yield start, env
+
+    def partial(self, trace, start, env):
+        return start == len(trace)
+
+
+class Never(TracePred):
+    """The empty set of traces."""
+
+    def residuals(self, trace, start, env):
+        return iter(())
+
+    def partial(self, trace, start, env):
+        return False
+
+
+class Step(TracePred):
+    """One event, matched by ``fn(event, env) -> Optional[Env]`` (None =
+    no match; otherwise the possibly-extended environment)."""
+
+    def __init__(self, fn: Callable[[Event, Env], Optional[Env]],
+                 describe: str = "step"):
+        self.fn = fn
+        self.describe = describe
+
+    def residuals(self, trace, start, env):
+        if start < len(trace):
+            new_env = self.fn(trace[start], env)
+            if new_env is not None:
+                yield start + 1, new_env
+
+    def partial(self, trace, start, env):
+        if start == len(trace):
+            return True  # the event is yet to come
+        if start == len(trace) - 1:
+            return self.fn(trace[start], env) is not None
+        # A single event cannot be a prefix of two or more remaining events.
+        return False
+
+
+class Concat(TracePred):
+    """The paper's ``+++``."""
+
+    def __init__(self, first: TracePred, second: TracePred):
+        self.first = first
+        self.second = second
+
+    def residuals(self, trace, start, env):
+        for mid, env1 in self.first.residuals(trace, start, env):
+            yield from self.second.residuals(trace, mid, env1)
+
+    def partial(self, trace, start, env):
+        if self.first.partial(trace, start, env):
+            return True
+        for mid, env1 in self.first.residuals(trace, start, env):
+            if self.second.partial(trace, mid, env1):
+                return True
+        return False
+
+
+class Union(TracePred):
+    """The paper's ``|||``."""
+
+    def __init__(self, *arms: TracePred):
+        self.arms = arms
+
+    def residuals(self, trace, start, env):
+        seen = set()
+        for arm in self.arms:
+            for end, env1 in arm.residuals(trace, start, env):
+                key = (end, tuple(sorted(env1.items())))
+                if key not in seen:
+                    seen.add(key)
+                    yield end, env1
+
+    def partial(self, trace, start, env):
+        return any(arm.partial(trace, start, env) for arm in self.arms)
+
+
+class Star(TracePred):
+    """The paper's ``^*``. The body must not accept the empty trace."""
+
+    def __init__(self, body: TracePred):
+        self.body = body
+
+    def residuals(self, trace, start, env):
+        yield start, env
+        frontier = [(start, env)]
+        visited = {start}
+        while frontier:
+            pos, env0 = frontier.pop()
+            for end, env1 in self.body.residuals(trace, pos, env0):
+                if end > pos and end not in visited:
+                    visited.add(end)
+                    yield end, env1
+                    frontier.append((end, env1))
+
+    def partial(self, trace, start, env):
+        if self.body.partial(trace, start, env):
+            return True
+        frontier = [(start, env)]
+        visited = {start}
+        while frontier:
+            pos, env0 = frontier.pop()
+            for end, env1 in self.body.residuals(trace, pos, env0):
+                if end <= pos or end in visited:
+                    continue
+                if end == len(trace) or self.body.partial(trace, end, env1):
+                    return True
+                visited.add(end)
+                frontier.append((end, env1))
+        return start == len(trace)
+
+
+class Exists(TracePred):
+    """The paper's ``EX x:T, P``: union over a finite domain, with the
+    witness bound in the environment."""
+
+    def __init__(self, name: str, domain: Iterable[int],
+                 body: Callable[[int], TracePred]):
+        self.name = name
+        self.domain = list(domain)
+        self.body = body
+
+    def residuals(self, trace, start, env):
+        for value in self.domain:
+            inner = dict(env)
+            inner[self.name] = value
+            yield from self.body(value).residuals(trace, start, inner)
+
+    def partial(self, trace, start, env):
+        return any(self.body(v).partial(trace, start, dict(env, **{self.name: v}))
+                   for v in self.domain)
+
+
+class Guard(TracePred):
+    """The empty trace, accepted only when ``fn(env)`` holds -- used to
+    state constraints over values captured earlier."""
+
+    def __init__(self, fn: Callable[[Env], bool], describe: str = "guard"):
+        self.fn = fn
+        self.describe = describe
+
+    def residuals(self, trace, start, env):
+        if self.fn(env):
+            yield start, env
+
+    def partial(self, trace, start, env):
+        # Guards accept only the empty trace, so a strict prefix situation
+        # exists only when everything has been consumed. (Whether the guard
+        # will hold once more events arrive cannot be known yet; being
+        # permissive exactly at the end keeps `partial` sound.)
+        return start == len(trace)
+
+
+class RepeatN(TracePred):
+    """Data-dependent repetition: ``body_fn(i)`` matched ``count_fn(env)``
+    times. Used for "read ceil(len/4) FIFO words" where the count was
+    captured from an earlier status event."""
+
+    def __init__(self, count_fn: Callable[[Env], int],
+                 body_fn: Callable[[int], TracePred]):
+        self.count_fn = count_fn
+        self.body_fn = body_fn
+
+    def residuals(self, trace, start, env):
+        count = self.count_fn(env)
+        states = [(start, env)]
+        for i in range(count):
+            next_states = []
+            for pos, env0 in states:
+                next_states.extend(self.body_fn(i).residuals(trace, pos, env0))
+            states = next_states
+            if not states:
+                return
+        yield from states
+
+    def partial(self, trace, start, env):
+        count = self.count_fn(env)
+        states = [(start, env)]
+        for i in range(count):
+            body = self.body_fn(i)
+            if any(body.partial(trace, pos, env0) for pos, env0 in states):
+                return True
+            next_states = []
+            for pos, env0 in states:
+                next_states.extend(body.residuals(trace, pos, env0))
+            states = next_states
+            if not states:
+                return False
+        # A full match is a prefix only when nothing is left unconsumed.
+        return any(pos == len(trace) for pos, _ in states)
+
+
+def seq(*parts: TracePred) -> TracePred:
+    result: TracePred = Epsilon()
+    for part in parts:
+        result = result + part if not isinstance(result, Epsilon) else part
+    return result
+
+
+def union(*parts: TracePred) -> TracePred:
+    return Union(*parts)
+
+
+# -- event-pattern helpers -------------------------------------------------------
+
+def event(kind: str, addr: int,
+          value_fn: Optional[Callable[[int, Env], Optional[Env]]] = None,
+          describe: str = "") -> Step:
+    """An event at a fixed address. ``value_fn(value, env)`` may inspect
+    and capture the value; default accepts anything."""
+
+    def fn(ev: Event, env: Env) -> Optional[Env]:
+        k, a, v = ev
+        if k != kind or a != addr:
+            return None
+        if value_fn is None:
+            return env
+        return value_fn(v, env)
+
+    return Step(fn, describe or "%s@0x%x" % (kind, addr))
+
+
+def ld(addr: int, value_fn=None, describe: str = "") -> Step:
+    return event("ld", addr, value_fn, describe)
+
+
+def st(addr: int, value_fn=None, describe: str = "") -> Step:
+    return event("st", addr, value_fn, describe)
+
+
+def value_is(expected: int):
+    def fn(v: int, env: Env) -> Optional[Env]:
+        return env if v == expected else None
+    return fn
+
+
+def value_where(pred: Callable[[int], bool]):
+    def fn(v: int, env: Env) -> Optional[Env]:
+        return env if pred(v) else None
+    return fn
+
+
+def capture(name: str, pred: Optional[Callable[[int], bool]] = None):
+    def fn(v: int, env: Env) -> Optional[Env]:
+        if pred is not None and not pred(v):
+            return None
+        new = dict(env)
+        new[name] = v
+        return new
+    return fn

@@ -1,0 +1,238 @@
+"""Unit tests for the Bedrock2 big-step interpreter."""
+
+import pytest
+
+from repro.bedrock2.builder import (
+    block, call, func, if_, interact, lit, load1, load2, load4, set_, skip,
+    stackalloc, store1, store2, store4, var, while_,
+)
+from repro.bedrock2.semantics import (
+    ExtHandler,
+    IOEvent,
+    Memory,
+    OutOfFuel,
+    UndefinedBehavior,
+    run_function,
+    to_mmio_triples,
+)
+
+
+def run1(body, params=(), args=(), rets=("r",), **kwargs):
+    prog = {"f": func("f", params, rets, body)}
+    return run_function(prog, "f", args, **kwargs)
+
+
+# -- expressions ---------------------------------------------------------------
+
+def test_arith_wraps():
+    rets, _ = run1(set_("r", lit(0xFFFFFFFF) + 1))
+    assert rets == (0,)
+
+
+def test_comparison_results_are_01():
+    rets, _ = run1(block(set_("r", lit(3) < lit(4))))
+    assert rets == (1,)
+    rets, _ = run1(block(set_("r", lit(4) < lit(4))))
+    assert rets == (0,)
+
+
+def test_signed_comparison():
+    rets, _ = run1(set_("r", lit(0xFFFFFFFF).slt(lit(0))))
+    assert rets == (1,)  # -1 < 0 signed
+    rets, _ = run1(set_("r", lit(0xFFFFFFFF) < lit(0)))
+    assert rets == (0,)  # unsigned
+
+
+def test_division_by_zero_is_defined():
+    rets, _ = run1(set_("r", var("x").udiv(lit(0))), params=("x",), args=(7,))
+    assert rets == (0xFFFFFFFF,)
+    rets, _ = run1(set_("r", var("x").umod(lit(0))), params=("x",), args=(7,))
+    assert rets == (7,)
+
+
+def test_unbound_variable_is_ub():
+    with pytest.raises(UndefinedBehavior):
+        run1(set_("r", var("nope")))
+
+
+# -- memory ----------------------------------------------------------------------
+
+def test_load_store_roundtrip():
+    mem = Memory.from_regions([(0x100, bytes(8))])
+    rets, _ = run1(block(store4(lit(0x100), lit(0xAABBCCDD)),
+                         set_("r", load4(lit(0x100)))), mem=mem)
+    assert rets == (0xAABBCCDD,)
+
+
+def test_little_endian_byte_order():
+    mem = Memory.from_regions([(0x100, bytes(8))])
+    rets, _ = run1(block(store4(lit(0x100), lit(0x11223344)),
+                         set_("r", load1(lit(0x100)))), mem=mem)
+    assert rets == (0x44,)
+
+
+def test_load2_zero_extends():
+    mem = Memory.from_regions([(0x100, b"\xff\xff\x00\x00")])
+    rets, _ = run1(set_("r", load2(lit(0x100))), mem=mem)
+    assert rets == (0xFFFF,)
+
+
+def test_out_of_bounds_access_is_ub():
+    with pytest.raises(UndefinedBehavior):
+        run1(set_("r", load4(lit(0x100))))
+    mem = Memory.from_regions([(0x100, bytes(2))])
+    with pytest.raises(UndefinedBehavior):
+        run1(set_("r", load4(lit(0x100))), mem=mem)
+
+
+def test_misaligned_access_is_ub():
+    mem = Memory.from_regions([(0x100, bytes(16))])
+    with pytest.raises(UndefinedBehavior):
+        run1(set_("r", load4(lit(0x101))), mem=mem)
+    with pytest.raises(UndefinedBehavior):
+        run1(block(store2(lit(0x103), lit(1)), set_("r", lit(0))), mem=mem)
+
+
+def test_stackalloc_provides_memory_then_reclaims():
+    body = block(
+        stackalloc("p", 8, block(
+            store4(var("p"), lit(42)),
+            set_("r", load4(var("p"))),
+        )),
+        set_("dead", var("p")),  # binding survives; memory does not
+    )
+    rets, state = run1(body)
+    assert rets == (42,)
+    assert len(state.mem) == 0
+
+
+def test_stackalloc_memory_gone_after_block():
+    body = block(
+        stackalloc("p", 8, skip()),
+        set_("r", load4(var("p"))),  # use-after-free
+    )
+    with pytest.raises(UndefinedBehavior):
+        run1(body)
+
+
+def test_stackalloc_unaligned_size_rejected():
+    with pytest.raises(UndefinedBehavior):
+        run1(stackalloc("p", 3, set_("r", lit(0))))
+
+
+# -- control flow ------------------------------------------------------------------
+
+def test_if_branches():
+    body = if_(var("x"), set_("r", lit(1)), set_("r", lit(2)))
+    assert run1(body, params=("x",), args=(5,))[0] == (1,)
+    assert run1(body, params=("x",), args=(0,))[0] == (2,)
+
+
+def test_while_loop_counts():
+    body = block(
+        set_("r", lit(0)),
+        while_(var("x"), block(set_("r", var("r") + 2),
+                               set_("x", var("x") - 1))),
+    )
+    assert run1(body, params=("x",), args=(10,))[0] == (20,)
+
+
+def test_infinite_loop_exhausts_fuel():
+    with pytest.raises(OutOfFuel):
+        run1(block(set_("r", lit(0)), while_(lit(1), skip())), fuel=1000)
+
+
+def test_function_call_with_multiple_returns():
+    prog = {
+        "divmod": func("divmod", ("a", "b"), ("q", "r"), block(
+            set_("q", var("a").udiv(var("b"))),
+            set_("r", var("a").umod(var("b"))),
+        )),
+        "main": func("main", (), ("x", "y"), block(
+            call(("x", "y"), "divmod", lit(17), lit(5)),
+        )),
+    }
+    rets, _ = run_function(prog, "main", ())
+    assert rets == (3, 2)
+
+
+def test_callee_locals_do_not_leak():
+    prog = {
+        "leaky": func("leaky", (), ("r",), block(set_("secret", lit(9)),
+                                                 set_("r", lit(1)))),
+        "main": func("main", (), ("r",), block(
+            call(("t",), "leaky"),
+            set_("r", var("secret")),  # must be UB: not in caller scope
+        )),
+    }
+    with pytest.raises(UndefinedBehavior):
+        run_function(prog, "main", ())
+
+
+def test_call_unknown_function_is_ub():
+    with pytest.raises(UndefinedBehavior):
+        run1(call(("r",), "ghost"))
+
+
+# -- external calls ------------------------------------------------------------------
+
+class RecordingExt(ExtHandler):
+    def __init__(self):
+        self.next_value = 7
+
+    def call(self, action, args, mem):
+        if action == "MMIOREAD":
+            return (self.next_value,)
+        if action == "MMIOWRITE":
+            return ()
+        raise UndefinedBehavior(action)
+
+
+def test_interact_records_trace():
+    body = block(
+        interact(["v"], "MMIOREAD", lit(0x10024048)),
+        interact([], "MMIOWRITE", lit(0x1002404C), var("v") + 1),
+        set_("r", var("v")),
+    )
+    rets, state = run1(body, ext=RecordingExt())
+    assert rets == (7,)
+    assert state.trace == [
+        IOEvent("MMIOREAD", (0x10024048,), (7,)),
+        IOEvent("MMIOWRITE", (0x1002404C, 8), ()),
+    ]
+    assert to_mmio_triples(state.trace) == [
+        ("ld", 0x10024048, 7), ("st", 0x1002404C, 8)]
+
+
+def test_interact_without_handler_is_ub():
+    with pytest.raises(UndefinedBehavior):
+        run1(interact(["r"], "MMIOREAD", lit(0)))
+
+
+def test_stackalloc_address_is_internal_nondeterminism():
+    """Paper §4/§5.3: the stack-allocation address is internally
+    nondeterministic -- well-defined programs cannot observe it. Running
+    with different allocators must give identical results and traces
+    (this is the freedom the compiler exploits when it places buffers in
+    stack frames instead of at the interpreter's addresses)."""
+    body = block(
+        stackalloc("p", 16, block(
+            store4(var("p"), var("x")),
+            store4(var("p") + 8, load4(var("p")) * 3),
+            set_("r", load4(var("p") + 8)),
+        )),
+    )
+    prog = {"f": func("f", ("x",), ("r",), body)}
+    runs = [run_function(prog, "f", [7], stack_base=base)[0]
+            for base in (0x8000_0000, 0x1000, 0xFFFF_0000)]
+    assert runs[0] == runs[1] == runs[2] == (21,)
+
+
+def test_program_observing_stackalloc_address_differs_by_allocator():
+    """The flip side: a program that leaks the pointer value genuinely
+    depends on the nondeterministic choice -- such programs fall outside
+    what the compiler promises to preserve."""
+    prog = {"f": func("f", (), ("r",), stackalloc("p", 8, set_("r", var("p"))))}
+    a = run_function(prog, "f", [], stack_base=0x8000_0000)[0]
+    b = run_function(prog, "f", [], stack_base=0x1000)[0]
+    assert a != b

@@ -1,0 +1,98 @@
+"""Tests for the disassembler and the CLI entry points."""
+
+import io
+import contextlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.riscv import insts as I
+from repro.riscv.disasm import disassemble, format_instr
+from repro.riscv.encode import encode_program
+
+
+# -- disassembler -------------------------------------------------------------------
+
+def test_format_r_type():
+    assert format_instr(I.r_type("add", 10, 11, 12)) == "add    a0, a1, a2"
+
+
+def test_format_loads_stores():
+    assert format_instr(I.load("lw", 5, 2, -4)) == "lw     t0, -4(sp)"
+    assert format_instr(I.store("sw", 2, 1, 8)) == "sw     ra, 8(sp)"
+
+
+def test_format_branch_with_pc_resolves_target():
+    text = format_instr(I.branch("beq", 1, 2, -8), pc=0x100)
+    assert "0xf8" in text
+
+
+def test_format_jump_aliases():
+    assert format_instr(I.jal(0, 16), pc=0x10) == "j      0x20"
+    assert format_instr(I.jalr(0, 1, 0)) == "jr     ra"
+
+
+def test_disassemble_with_symbols_and_junk():
+    image = encode_program([I.i_type("addi", 1, 0, 5)]) + b"\xff\xff\xff\xff"
+    lines = disassemble(image, symbols={"func.f": 0})
+    assert lines[0] == "func.f:"
+    assert "addi" in lines[1]
+    assert ".word" in lines[2]
+
+
+def test_disassemble_whole_lightbulb_roundtrips():
+    from repro.sw.program import compiled_lightbulb
+
+    compiled = compiled_lightbulb(stack_top=1 << 16)
+    lines = disassemble(compiled.image, symbols=compiled.symbols)
+    assert len([l for l in lines if "\t" in l]) == len(compiled.instrs)
+    assert not any(".word" in l for l in lines)  # every word decodes
+
+
+# -- CLI -----------------------------------------------------------------------------
+
+def run_cli(*argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main(list(argv))
+    return code, out.getvalue()
+
+
+def test_cli_disasm():
+    code, out = run_cli("disasm")
+    assert code == 0
+    assert "func.lightbulb_loop:" in out
+    assert "jr     ra" in out
+
+
+def test_cli_disasm_doorlock():
+    code, out = run_cli("disasm", "--app", "doorlock")
+    assert code == 0
+    assert "func.doorlock_loop:" in out
+
+
+def test_cli_export_c():
+    code, out = run_cli("export-c")
+    assert code == 0
+    assert "uint32_t lightbulb_loop(uint32_t buf)" in out
+    assert "br_divu" in out
+
+
+def test_cli_verify():
+    code, out = run_cli("verify")
+    assert code == 0
+    assert "verified lan9250_drain" in out
+    assert "buggy drain fails" in out
+
+
+def test_cli_end2end():
+    code, out = run_cli("end2end", "--seed", "7", "--frames", "4")
+    assert code == 0
+    assert "within goodHlTrace" in out
+
+
+def test_cli_demo():
+    code, out = run_cli("demo")
+    assert code == 0
+    assert "ON command" in out
+    assert "trace" in out

@@ -1,0 +1,245 @@
+"""Unit tests for individual compiler phases: flattening shapes, register
+allocation invariants, code-generation helpers, label resolution and
+branch relaxation, stack accounting."""
+
+import pytest
+
+from repro.bedrock2.builder import (
+    block, call, func, if_, interact, lit, load4, set_, stackalloc, store4,
+    var, while_,
+)
+from repro.compiler.codegen import (
+    BranchTo, CompileError, FunctionCompiler, JumpTo, Label,
+    MMIOExtCallCompiler, resolve_labels,
+)
+from repro.compiler.flatimp import (
+    FCall, FFunction, FIf, FInteract, FLoad, FOp, FSetLit, FSetVar,
+    FStackalloc, FStore, FWhile, stmt_vars,
+)
+from repro.compiler.flatten import flatten_function, flatten_program
+from repro.compiler.pipeline import compile_program, compute_stack_bound
+from repro.compiler.regalloc import (
+    ALLOCATABLE, allocate_function, is_spill, reg_name, spill_slot,
+)
+from repro.riscv import insts as I
+
+
+# -- flattening -----------------------------------------------------------------------
+
+def test_flatten_expression_to_temps():
+    fn = func("f", ("a", "b"), ("r",), set_("r", (var("a") + var("b")) * 2))
+    flat = flatten_function(fn)
+    ops = [s for s in flat.body if isinstance(s, FOp)]
+    assert [o.op for o in ops] == ["add", "mul"]
+    # Operands of the mul are a temp and a literal-holding temp.
+    assert ops[1].lhs.startswith("$t")
+
+
+def test_flatten_variable_to_variable_copy():
+    fn = func("f", ("a",), ("r",), set_("r", var("a")))
+    flat = flatten_function(fn)
+    assert flat.body == (FSetVar("r", "a"),)
+
+
+def test_flatten_self_assignment_dropped():
+    fn = func("f", ("a",), ("a",), set_("a", var("a")))
+    flat = flatten_function(fn)
+    assert flat.body == ()
+
+
+def test_flatten_while_recomputes_condition():
+    fn = func("f", ("n",), ("n",),
+              while_(var("n") < 10, set_("n", var("n") + 1)))
+    flat = flatten_function(fn)
+    loop = flat.body[0]
+    assert isinstance(loop, FWhile)
+    assert any(isinstance(s, FOp) and s.op == "ltu" for s in loop.cond_stmts)
+
+
+def test_flatten_fresh_names_never_collide_with_source():
+    fn = func("f", ("$t0",), ("r",), set_("r", var("$t0") + 1))
+    # "$" names cannot appear in source (builder takes them though); the
+    # flattener's counter starts fresh per function, so ensure uniqueness:
+    flat = flatten_function(func("g", ("a",), ("r",),
+                                 set_("r", (var("a") + 1) + (var("a") + 2))))
+    names = stmt_vars(flat.body)
+    assert len([n for n in names if n.startswith("$t")]) == \
+        len({n for n in names if n.startswith("$t")})
+
+
+# -- register allocation ----------------------------------------------------------------
+
+def test_allocate_params_get_registers_first():
+    fn = FFunction("f", ("p", "q"), ("p",),
+                   (FOp("r", "add", "p", "q"),))
+    new_fn, alloc = allocate_function(fn)
+    assert new_fn.params[0].startswith("x")
+    assert new_fn.params[1].startswith("x")
+    assert alloc.num_spills == 0
+
+
+def test_allocate_spills_when_out_of_registers():
+    many = tuple(FSetLit("v%d" % i, i) for i in range(len(ALLOCATABLE) + 5))
+    fn = FFunction("f", (), ("v0",), many)
+    new_fn, alloc = allocate_function(fn)
+    assert alloc.num_spills == 5
+    spilled = [s.dst for s in new_fn.body if is_spill(s.dst)]
+    assert len(spilled) == 5
+    assert spill_slot(spilled[0]) == 0
+
+
+def test_reg_name_and_spill_helpers():
+    assert reg_name(5) == "x5"
+    assert is_spill("$spill3") and not is_spill("x7")
+    assert spill_slot("$spill12") == 12
+
+
+def test_too_many_args_rejected():
+    from repro.compiler.regalloc import TooManyArguments
+
+    fn = FFunction("f", tuple("p%d" % i for i in range(9)), (), ())
+    with pytest.raises(TooManyArguments):
+        allocate_function(fn)
+
+
+# -- codegen helpers ---------------------------------------------------------------------
+
+def fresh_fc(num_spills=0):
+    return FunctionCompiler(FFunction("f", (), (), ()),
+                            MMIOExtCallCompiler(), num_spills)
+
+
+@pytest.mark.parametrize("value", [0, 1, -1 & 0xFFFFFFFF, 2047, 2048,
+                                   0x800, 0x7FF, 0xFFFFF800, 0x80000800,
+                                   0xDEADBEEF, 0x7FFFFFFF, 0x80000000])
+def test_emit_li_all_ranges(value):
+    from repro.riscv.machine import RiscvMachine
+    from repro.riscv.encode import encode_program
+
+    fc = fresh_fc()
+    fc.emit_li(5, value)
+    instrs = [i for i in fc.items]
+    machine = RiscvMachine.with_program(encode_program(instrs),
+                                        mem_size=1 << 10)
+    for _ in instrs:
+        machine.step()
+    assert machine.get_register(5) == value & 0xFFFFFFFF
+
+
+def test_emit_mv_elides_self_move():
+    fc = fresh_fc()
+    fc.emit_mv(5, 5)
+    assert fc.items == []
+    fc.emit_mv(5, 6)
+    assert len(fc.items) == 1
+
+
+def test_frame_layout_offsets_disjoint():
+    body = (FStackalloc("x5", 16, (FStackalloc("x6", 8, ()),)),
+            FStackalloc("x7", 8, ()))
+    fc = FunctionCompiler(FFunction("f", (), (), body),
+                          MMIOExtCallCompiler(), num_spills=2)
+    offs = fc._alloca_offsets
+    assert offs == [0, 16, 24]
+    assert fc.spill_base == 32
+    assert fc.saved_base == 32 + 8
+    assert fc.frame_size % 16 == 0
+
+
+# -- label resolution & branch relaxation ----------------------------------------------------
+
+def test_resolve_simple_branch():
+    items = [Label("top"), I.i_type("addi", 1, 1, 1),
+             BranchTo("bne", 1, 0, "top")]
+    instrs = resolve_labels(items)
+    assert instrs[1] == I.branch("bne", 1, 0, -4)
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(CompileError):
+        resolve_labels([JumpTo(0, "nowhere")])
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(CompileError):
+        resolve_labels([Label("a"), Label("a")])
+
+
+def test_branch_relaxation_kicks_in():
+    filler = [I.i_type("addi", 1, 1, 1)] * 1200  # > 4KB of code
+    items = [BranchTo("beq", 1, 2, "far")] + filler + [Label("far")]
+    instrs = resolve_labels(items)
+    # The far branch became bne-over-jal.
+    assert instrs[0].name == "bne"
+    assert instrs[1].name == "jal"
+    # Semantics: taken path must land after the filler.
+    assert instrs[1].imm == 4 * (len(filler) + 1)
+
+
+def test_branch_relaxation_preserves_behavior():
+    # Compile a program whose if-arms exceed the branch range.
+    big_then = block(*[set_("x", var("x") + 1) for _ in range(1500)])
+    prog = {"main": func("main", ("c",), ("x",), block(
+        set_("x", lit(0)),
+        if_(var("c"), big_then, set_("x", lit(7)))))}
+    from repro.compiler.pipeline import run_compiled
+
+    compiled = compile_program(prog, entry="main")
+    assert run_compiled(compiled, (1,))[0] == (1500,)
+    assert run_compiled(compiled, (0,))[0] == (7,)
+
+
+# -- stack accounting ----------------------------------------------------------------------
+
+def test_stack_bound_sums_deepest_path():
+    flat = flatten_program({
+        "leaf": func("leaf", (), ("r",), set_("r", lit(1))),
+        "mid": func("mid", (), ("r",), call(("r",), "leaf")),
+        "main": func("main", (), ("r",), call(("r",), "mid")),
+    })
+    frames = {"leaf": 16, "mid": 32, "main": 48}
+    assert compute_stack_bound(flat, frames, "main") == 96
+
+
+def test_stack_bound_takes_max_over_callees():
+    flat = flatten_program({
+        "small": func("small", (), ("r",), set_("r", lit(1))),
+        "big": func("big", (), ("r",), stackalloc("p", 256, block(
+            store4(var("p"), lit(1)), set_("r", load4(var("p")))))),
+        "main": func("main", (), ("r",), block(
+            call(("a",), "small"), call(("r",), "big"))),
+    })
+    frames = {"small": 16, "big": 512, "main": 32}
+    assert compute_stack_bound(flat, frames, "main") == 32 + 512
+
+
+def test_undefined_callee_rejected():
+    flat = flatten_program({
+        "main": func("main", (), ("r",), call(("r",), "ghost"))})
+    with pytest.raises(CompileError):
+        compute_stack_bound(flat, {"main": 16}, "main")
+
+
+def test_compiled_frames_fit_bound_at_runtime():
+    # Runtime stack high-water mark must respect the static bound.
+    prog = {
+        "f3": func("f3", ("a",), ("r",), stackalloc("p", 64, block(
+            store4(var("p"), var("a")), set_("r", load4(var("p")))))),
+        "f2": func("f2", ("a",), ("r",), call(("r",), "f3", var("a") + 1)),
+        "f1": func("f1", ("a",), ("r",), call(("r",), "f2", var("a") + 1)),
+        "main": func("main", ("a",), ("r",), call(("r",), "f1", var("a"))),
+    }
+    from repro.compiler.pipeline import run_compiled
+
+    compiled = compile_program(prog, entry="main", stack_top=1 << 16)
+    low_water = [1 << 16]
+
+    class Spy:
+        def is_mmio(self, addr):
+            return False
+
+    rets, machine = run_compiled(compiled, (5,), mem_size=1 << 16)
+    assert rets == (7,)
+    # The static bound is an upper bound on total frame usage.
+    total_frames = sum(compiled.frame_sizes.values())
+    assert compiled.stack_bound <= total_frames

@@ -1,0 +1,53 @@
+"""The famous obligation, isolated (docs/verification.md's claims).
+
+The drain loop's in-bounds store condition, stated directly as formulas:
+with the caller's bound (n <= 1520) it is valid; with only the status-field
+width (n <= 0x3FFF) it is falsifiable, and the countermodel is a concrete
+oversize frame length -- the paper's prototype exploit, as arithmetic."""
+
+from repro.logic import check_valid, terms as T
+
+
+def drain_obligation(n_bound: int):
+    """hypotheses |- 4*i <= 1516, under i < (n+3)>>2 and n <= n_bound."""
+    n = T.var("n")
+    i = T.var("i")
+    num_words = T.lshr(T.add(n, T.const(3)), T.const(2))
+    hyps = [T.ult(i, num_words), T.ule(n, T.const(n_bound))]
+    goal = T.ule(T.shl(i, T.const(2)), T.const(1516))
+    return goal, hyps
+
+
+def test_with_length_check_the_store_is_safe():
+    goal, hyps = drain_obligation(1520)
+    assert check_valid(goal, hyps).valid
+
+
+def test_without_length_check_the_store_is_exploitable():
+    goal, hyps = drain_obligation(0x3FFF)
+    result = check_valid(goal, hyps)
+    assert not result.valid
+    # The countermodel is a concrete attack: a frame longer than the buffer.
+    n, i = result.model["n"], result.model["i"]
+    assert n > 1520
+    assert i < ((n + 3) >> 2) and 4 * i > 1516
+
+
+def test_boundary_is_exact():
+    # 1521 already admits an overflowing index; 1520 is tight.
+    goal, hyps = drain_obligation(1521)
+    result = check_valid(goal, hyps)
+    assert not result.valid
+    assert result.model["n"] == 1521
+
+
+def test_alignment_half_of_the_obligation():
+    buf = T.var("buf")
+    i = T.var("i")
+    addr = T.add(buf, T.shl(i, T.const(2)))
+    aligned = T.eq(T.band(addr, T.const(3)), T.const(0))
+    # Unprovable without buf's alignment...
+    assert not check_valid(aligned).valid
+    # ...valid with it.
+    assert check_valid(aligned,
+                       [T.eq(T.band(buf, T.const(3)), T.const(0))]).valid

@@ -1,0 +1,130 @@
+"""Schedule-robustness of the Kami semantics (paper section 5.7).
+
+Kami's one-rule-at-a-time theorem says any concurrent hardware schedule is
+equivalent to some sequence of single-rule steps; the Bluespec compiler is
+free to pick schedules. These tests exercise our analogue: the processor's
+observable MMIO trace is the same under
+
+* the priority scheduler (one rule per step),
+* the cycle scheduler (every rule once per cycle),
+* randomized rule priorities,
+
+because the design's FIFOs and guards serialize the data flow. This is
+what licenses using the cycle scheduler for performance measurements and
+the step scheduler for refinement checking interchangeably."""
+
+import random
+
+import pytest
+
+from repro.kami.framework import ExternalWorld, System
+from repro.kami.memory import make_memory_module
+from repro.kami.pipeline_proc import make_pipelined_processor
+from repro.platform.net import lightbulb_packet
+from repro.riscv import insts as I
+from repro.riscv.encode import encode_program
+from repro.sw.program import compiled_lightbulb, make_platform
+
+
+class ScriptedWorld(ExternalWorld):
+    def __init__(self):
+        self.state = 0
+        self.writes = []
+
+    def call(self, method, args):
+        if method == "mmioRead":
+            self.state = (self.state * 5 + args[0] + 1) & 0xFFFFFFFF
+            return self.state
+        if method == "mmioWrite":
+            self.writes.append((args[0], args[1]))
+            return None
+        raise KeyError(method)
+
+
+PROGRAM = encode_program([
+    I.u_type("lui", 2, 0x10024),
+    I.i_type("addi", 3, 0, 8),          # 8 rounds
+    I.load("lw", 1, 2, 0),              # loop: read MMIO
+    I.store("sw", 2, 1, 4),             #   echo it back
+    I.i_type("addi", 3, 3, -1),
+    I.branch("bne", 3, 0, -12),
+    I.jal(0, 0),
+])
+
+
+def build(order=None, seed=None):
+    mem = make_memory_module(PROGRAM, ram_words=1 << 10)
+    proc = make_pipelined_processor(icache_words=32)
+    system = System([proc, mem], ScriptedWorld(), snapshot_rollback=False)
+    if seed is not None:
+        names = [name for name, _, _ in system._rules]
+        rng = random.Random(seed)
+        rng.shuffle(names)
+        by_name = {name: entry for entry in system._rules
+                   for name in [entry[0]]}
+        system._rules = [by_name[n] for n in names]
+    return system
+
+
+def run_steps(system, budget=20_000):
+    system.run(budget)
+    return system.mmio_trace()
+
+
+def run_cycles(system, budget=20_000):
+    system.run_cycles(budget)
+    return system.mmio_trace()
+
+
+def test_step_and_cycle_schedulers_agree():
+    reference = run_steps(build())
+    assert len(reference) == 16  # 8 reads + 8 writes
+    assert run_cycles(build()) == reference
+
+
+@pytest.mark.parametrize("seed", [11, 22, 33, 44, 55])
+def test_randomized_priorities_preserve_trace(seed):
+    reference = run_steps(build())
+    shuffled = run_steps(build(seed=seed), budget=60_000)
+    assert shuffled == reference
+
+
+def test_randomized_priorities_on_lightbulb_refine_spec():
+    """Full refinement under an adversarial rule order, on the real
+    application binary with a packet in flight."""
+    from repro.kami.refinement import build_spec_system
+
+    compiled = compiled_lightbulb(stack_top=1 << 16)
+
+    def run_with(seed):
+        plat = make_platform()
+        mem = make_memory_module(compiled.image, ram_words=1 << 14)
+        proc = make_pipelined_processor(
+            icache_words=len(compiled.image) // 4 + 4)
+        system = System([proc, mem], plat.kami_world(),
+                        snapshot_rollback=False)
+        if seed is not None:
+            names = [name for name, _, _ in system._rules]
+            random.Random(seed).shuffle(names)
+            by_name = {entry[0]: entry for entry in system._rules}
+            system._rules = [by_name[n] for n in names]
+        injected = [False]
+
+        def stop(s):
+            if plat.lan.rx_enabled and not injected[0]:
+                plat.lan.inject_frame(lightbulb_packet(True))
+                injected[0] = True
+            return plat.gpio.bulb_on
+
+        system.run(400_000, stop=stop)
+        assert plat.gpio.bulb_on
+        return system.mmio_trace()
+
+    reference = run_with(None)
+    assert run_with(99) == reference
+
+
+def test_cycle_scheduler_counts_fired_rules():
+    system = build()
+    fired = system.cycle()
+    assert fired >= 1  # at least the I$ fill engine runs

@@ -1,0 +1,146 @@
+"""Unit tests for the term language: constructors, folding, evaluation."""
+
+import pytest
+
+from repro.logic import terms as T
+
+
+def test_const_masks_to_width():
+    assert T.const(0x1_FFFF_FFFF).value == 0xFFFF_FFFF
+    assert T.const(-1, 8).value == 0xFF
+
+
+def test_hash_consing_identity():
+    a = T.add(T.var("x"), T.const(1))
+    b = T.add(T.var("x"), T.const(1))
+    assert a is b
+
+
+def test_constant_folding_binops():
+    assert T.add(T.const(3), T.const(4)).value == 7
+    assert T.sub(T.const(3), T.const(4)).value == 0xFFFF_FFFF
+    assert T.mul(T.const(0x10000), T.const(0x10000)).value == 0
+    assert T.band(T.const(0xF0), T.const(0x3C)).value == 0x30
+    assert T.bor(T.const(0xF0), T.const(0x0F)).value == 0xFF
+    assert T.bxor(T.const(0xFF), T.const(0x0F)).value == 0xF0
+    assert T.shl(T.const(1), T.const(4)).value == 16
+    assert T.lshr(T.const(0x80000000), T.const(31)).value == 1
+    assert T.ashr(T.const(0x80000000), T.const(31)).value == 0xFFFFFFFF
+
+
+def test_shift_amount_mod_width():
+    assert T.shl(T.const(1), T.const(32)).value == 1
+    assert T.shl(T.const(1), T.const(33)).value == 2
+
+
+def test_identity_simplifications():
+    x = T.var("x")
+    assert T.add(x, T.const(0)) is x
+    assert T.add(T.const(0), x) is x
+    assert T.mul(x, T.const(1)) is x
+    assert T.mul(x, T.const(0)).value == 0
+    assert T.band(x, T.const(0)).value == 0
+    assert T.band(x, T.const(0xFFFFFFFF)) is x
+    assert T.bor(x, T.const(0)) is x
+    assert T.bxor(x, x).value == 0
+    assert T.sub(x, x).value == 0
+
+
+def test_division_by_zero_riscv_convention():
+    assert T.bv_binop("udiv", T.const(7), T.const(0)).value == 0xFFFFFFFF
+    assert T.bv_binop("urem", T.const(7), T.const(0)).value == 7
+    assert T.bv_binop("sdiv", T.const(7), T.const(0)).value == 0xFFFFFFFF
+    minint = T.const(0x80000000)
+    assert T.bv_binop("sdiv", minint, T.const(0xFFFFFFFF)).value == 0x80000000
+
+
+def test_signed_helpers():
+    assert T.to_signed(0xFFFFFFFF, 32) == -1
+    assert T.to_signed(0x7FFFFFFF, 32) == 0x7FFFFFFF
+    assert T.from_signed(-1, 32) == 0xFFFFFFFF
+
+
+def test_extract_concat_roundtrip():
+    w = T.const(0xAABBCCDD)
+    assert T.extract(w, 7, 0).value == 0xDD
+    assert T.extract(w, 31, 24).value == 0xAA
+    lo = T.extract(w, 15, 0)
+    hi = T.extract(w, 31, 16)
+    assert T.concat(hi, lo).value == 0xAABBCCDD
+
+
+def test_extract_of_extract_fuses():
+    x = T.var("x")
+    e = T.extract(T.extract(x, 23, 8), 7, 0)
+    assert e.op == "extract"
+    assert e.args[0] is x
+    assert e.attr == (15, 8)
+
+
+def test_extract_of_concat_selects_side():
+    hi = T.var("h", 16)
+    lo = T.var("l", 16)
+    c = T.concat(hi, lo)
+    assert T.extract(c, 15, 0) is lo
+    assert T.extract(c, 31, 16) is hi
+
+
+def test_zext_sext():
+    assert T.zext(T.const(0xFF, 8), 32).value == 0xFF
+    assert T.sext(T.const(0xFF, 8), 32).value == 0xFFFFFFFF
+    assert T.sext(T.const(0x7F, 8), 32).value == 0x7F
+
+
+def test_boolean_connectives():
+    p = T.bool_var("p")
+    assert T.and_(p, T.TRUE) is p
+    assert T.and_(p, T.FALSE) is T.FALSE
+    assert T.or_(p, T.FALSE) is p
+    assert T.or_(p, T.TRUE) is T.TRUE
+    assert T.not_(T.not_(p)) is p
+    assert T.and_(p, T.not_(p)) is T.FALSE
+    assert T.or_(p, T.not_(p)) is T.TRUE
+
+
+def test_comparisons_fold():
+    assert T.ult(T.const(1), T.const(2)) is T.TRUE
+    assert T.ult(T.const(2), T.const(1)) is T.FALSE
+    assert T.slt(T.const(0xFFFFFFFF), T.const(0)) is T.TRUE
+    assert T.eq(T.const(5), T.const(5)) is T.TRUE
+    x = T.var("x")
+    assert T.eq(x, x) is T.TRUE
+    assert T.ult(x, T.const(0)) is T.FALSE
+
+
+def test_ite_simplifies():
+    x, y = T.var("x"), T.var("y")
+    p = T.bool_var("p")
+    assert T.ite(T.TRUE, x, y) is x
+    assert T.ite(T.FALSE, x, y) is y
+    assert T.ite(p, x, x) is x
+    assert T.ite(p, T.TRUE, T.FALSE) is p
+
+
+def test_evaluate_on_model():
+    x, y = T.var("x"), T.var("y")
+    expr = T.add(T.mul(x, T.const(3)), y)
+    assert T.evaluate(expr, {"x": 5, "y": 2}) == 17
+    cmp_ = T.ult(x, y)
+    assert T.evaluate(cmp_, {"x": 1, "y": 2}) is True
+
+
+def test_evaluate_missing_variable_raises():
+    with pytest.raises(KeyError):
+        T.evaluate(T.var("zz"), {})
+
+
+def test_free_vars():
+    x, y = T.var("x"), T.var("y")
+    expr = T.and_(T.ult(x, y), T.eq(x, T.const(3)))
+    names = {name for name, _ in T.free_vars(expr)}
+    assert names == {"x", "y"}
+
+
+def test_bool_to_word():
+    assert T.bool_to_word(T.TRUE).value == 1
+    assert T.bool_to_word(T.FALSE).value == 0

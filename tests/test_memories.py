@@ -1,0 +1,123 @@
+"""Property and unit tests for the two memory models: Bedrock2's partial
+byte map and the machine's RAM-backed map (with DMA loans)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bedrock2.semantics import Memory, UndefinedBehavior
+from repro.riscv.machine import MachineMemory, RiscvMachine, RiscvUB
+
+
+# -- Bedrock2 Memory ----------------------------------------------------------------
+
+def test_from_regions_and_owns():
+    mem = Memory.from_regions([(0x100, b"\x01\x02"), (0x200, b"\x03")])
+    assert mem.owns(0x100, 2)
+    assert not mem.owns(0x100, 3)
+    assert mem.owns(0x200)
+    assert len(mem) == 3
+
+
+def test_add_region_overlap_rejected():
+    mem = Memory.from_regions([(0x100, bytes(4))])
+    with pytest.raises(ValueError):
+        mem.add_region(0x102, bytes(4))
+
+
+def test_remove_region_returns_contents():
+    mem = Memory()
+    mem.add_region(0x100, b"\xaa\xbb")
+    assert mem.remove_region(0x100, 2) == b"\xaa\xbb"
+    assert len(mem) == 0
+    with pytest.raises(UndefinedBehavior):
+        mem.remove_region(0x100, 2)
+
+
+def test_wraparound_addressing():
+    # The address space is modular: a region near 2^32 wraps.
+    mem = Memory.from_regions([(0xFFFFFFFE, bytes(4))])
+    mem.store(0xFFFFFFFE, 4, 0xDDCCBBAA)
+    assert mem.load(0x00000000, 1) == 0xCC
+    assert mem.load(0xFFFFFFFE, 4) == 0xDDCCBBAA
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 2**32 - 8), st.integers(0, 2**32 - 1),
+       st.sampled_from([1, 2, 4]))
+def test_store_load_roundtrip(base, value, size):
+    mem = Memory.from_regions([(base, bytes(8))])
+    mem.store(base, size, value)
+    assert mem.load(base, size) == value & ((1 << (8 * size)) - 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 100), st.integers(0, 2**32 - 1))
+def test_little_endian_byte_decomposition(offset, value):
+    mem = Memory.from_regions([(0x1000, bytes(128))])
+    mem.store(0x1000 + offset, 4, value)
+    for i in range(4):
+        assert mem.load(0x1000 + offset + i, 1) == (value >> (8 * i)) & 0xFF
+
+
+def test_snapshot_is_independent():
+    mem = Memory.from_regions([(0, b"\x01")])
+    snap = mem.snapshot()
+    mem.store(0, 1, 0xFF)
+    assert snap[0] == 1
+
+
+# -- MachineMemory -------------------------------------------------------------------
+
+def test_machine_memory_ram_plus_sparse():
+    mem = MachineMemory(ram_size=16, ram_base=0)
+    mem.add_byte(0x100, 0xAB)  # sparse extra byte
+    assert 0 in mem and 15 in mem and 16 not in mem
+    assert 0x100 in mem
+    mem[3] = 0x55
+    assert mem[3] == 0x55
+    assert mem[0x100] == 0xAB
+    with pytest.raises(KeyError):
+        mem[0x200] = 1
+
+
+def test_machine_memory_masks_byte_values():
+    mem = MachineMemory(ram_size=4)
+    mem[0] = 0x1FF
+    assert mem[0] == 0xFF
+
+
+# -- DMA loans against the machine -----------------------------------------------------
+
+def test_loan_blocks_partial_overlap():
+    m = RiscvMachine.with_program(b"\x00" * 4, mem_size=1 << 12)
+    m.loan_out(0x100, 16)
+    # A word access straddling the loan boundary is UB too.
+    with pytest.raises(RiscvUB):
+        m.load(4, 0xFE + 2 - 4 + 0x100 - 0xFC)  # 0x100-adjacent straddle
+    with pytest.raises(RiscvUB):
+        m.load(4, 0xFE)  # crosses into the loan at 0x100
+    assert m.load(4, 0xF8) is not None  # fully before: fine
+
+
+def test_multiple_loans_tracked_independently():
+    m = RiscvMachine.with_program(b"\x00" * 4, mem_size=1 << 12)
+    m.loan_out(0x100, 8)
+    m.loan_out(0x200, 8)
+    m.loan_return(0x100, b"\x11" * 8)
+    assert m.load(4, 0x100) == 0x11111111
+    with pytest.raises(RiscvUB):
+        m.load(4, 0x200)
+    m.loan_return(0x200)
+    m.load(4, 0x200)  # accessible again (contents unchanged)
+
+
+def test_fetch_from_loaned_region_is_ub():
+    from repro.riscv.encode import encode_program
+    from repro.riscv import insts as I
+
+    image = encode_program([I.jal(0, 0)])
+    m = RiscvMachine.with_program(image, mem_size=1 << 12)
+    m.loan_out(0, 4)
+    with pytest.raises(RiscvUB):
+        m.step()

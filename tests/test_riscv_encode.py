@@ -1,0 +1,102 @@
+"""Encoder/decoder round-trip and format tests for RV32IM."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.riscv import insts as I
+from repro.riscv.decode import decode
+from repro.riscv.encode import encode, encode_program
+
+
+def test_encode_addi_known_word():
+    # addi x1, x2, 5  ->  0x00510093
+    assert encode(I.i_type("addi", 1, 2, 5)) == 0x00510093
+
+
+def test_encode_add_known_word():
+    # add x3, x1, x2 -> 0x002081B3
+    assert encode(I.r_type("add", 3, 1, 2)) == 0x002081B3
+
+
+def test_encode_lui_known_word():
+    # lui x5, 0x12345 -> 0x123452B7
+    assert encode(I.u_type("lui", 5, 0x12345)) == 0x123452B7
+
+
+def test_encode_negative_store_offset():
+    # sw x2, -4(x8) -> imm 0xFFC split across funct7/rd fields
+    w = encode(I.store("sw", 8, 2, -4))
+    assert decode(w) == I.store("sw", 8, 2, -4)
+
+
+def test_encode_program_little_endian():
+    image = encode_program([I.i_type("addi", 1, 0, 1)])
+    assert len(image) == 4
+    assert int.from_bytes(image, "little") == encode(I.i_type("addi", 1, 0, 1))
+
+
+def test_decode_invalid_raises():
+    with pytest.raises(I.InvalidInstruction):
+        decode(0x00000000)
+    with pytest.raises(I.InvalidInstruction):
+        decode(0xFFFFFFFF)
+
+
+def test_branch_offset_must_be_even():
+    with pytest.raises(ValueError):
+        I.branch("beq", 1, 2, 3)
+
+
+def test_imm_range_checks():
+    with pytest.raises(ValueError):
+        I.i_type("addi", 1, 1, 5000)
+    with pytest.raises(ValueError):
+        I.u_type("lui", 1, 1 << 20)
+    with pytest.raises(ValueError):
+        I.shift_imm("slli", 1, 1, 32)
+
+
+regs = st.integers(0, 31)
+
+
+@st.composite
+def instructions(draw):
+    kind = draw(st.sampled_from(["r", "i", "shift", "load", "store", "branch",
+                                 "u", "jal", "jalr"]))
+    if kind == "r":
+        return I.r_type(draw(st.sampled_from(I.R_TYPE)), draw(regs),
+                        draw(regs), draw(regs))
+    if kind == "i":
+        return I.i_type(draw(st.sampled_from(I.I_ARITH)), draw(regs),
+                        draw(regs), draw(st.integers(-2048, 2047)))
+    if kind == "shift":
+        return I.shift_imm(draw(st.sampled_from(I.I_SHIFT)), draw(regs),
+                           draw(regs), draw(st.integers(0, 31)))
+    if kind == "load":
+        return I.load(draw(st.sampled_from(I.I_LOAD)), draw(regs),
+                      draw(regs), draw(st.integers(-2048, 2047)))
+    if kind == "store":
+        return I.store(draw(st.sampled_from(I.S_TYPE)), draw(regs),
+                       draw(regs), draw(st.integers(-2048, 2047)))
+    if kind == "branch":
+        return I.branch(draw(st.sampled_from(I.B_TYPE)), draw(regs),
+                        draw(regs), draw(st.integers(-2048, 2047)) * 2)
+    if kind == "u":
+        return I.u_type(draw(st.sampled_from(I.U_TYPE)), draw(regs),
+                        draw(st.integers(0, (1 << 20) - 1)))
+    if kind == "jal":
+        return I.jal(draw(regs), draw(st.integers(-(1 << 19), (1 << 19) - 1)) * 2)
+    return I.jalr(draw(regs), draw(regs), draw(st.integers(-2048, 2047)))
+
+
+@settings(max_examples=500, deadline=None)
+@given(instructions())
+def test_encode_decode_roundtrip(instr):
+    assert decode(encode(instr)) == instr
+
+
+@settings(max_examples=200, deadline=None)
+@given(instructions())
+def test_encoding_fits_32_bits(instr):
+    assert 0 <= encode(instr) < (1 << 32)

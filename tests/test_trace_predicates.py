@@ -1,0 +1,206 @@
+"""Unit and property tests for the trace-predicate combinators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.predicates import (
+    Concat, Epsilon, Exists, Guard, Never, RepeatN, Star, Step, Union,
+    capture, event, ld, seq, st as st_, union, value_is, value_where,
+)
+
+
+def LD(addr, val=0):
+    return ("ld", addr, val)
+
+
+def ST(addr, val=0):
+    return ("st", addr, val)
+
+
+def any_ld(addr):
+    return ld(addr)
+
+
+def test_epsilon():
+    assert Epsilon().matches([])
+    assert not Epsilon().matches([LD(0)])
+    assert Epsilon().prefix_of([])
+    assert not Epsilon().prefix_of([LD(0)])
+
+
+def test_never():
+    assert not Never().matches([])
+    assert not Never().prefix_of([])
+
+
+def test_single_event():
+    p = ld(0x100, value_is(7))
+    assert p.matches([LD(0x100, 7)])
+    assert not p.matches([LD(0x100, 8)])
+    assert not p.matches([ST(0x100, 7)])
+    assert not p.matches([])
+    assert not p.matches([LD(0x100, 7), LD(0x100, 7)])
+
+
+def test_prefix_of_single():
+    p = ld(0x100, value_is(7))
+    assert p.prefix_of([])          # the event may still come
+    assert p.prefix_of([LD(0x100, 7)])
+    assert not p.prefix_of([LD(0x200, 7)])
+
+
+def test_concat():
+    p = ld(1) + st_(2)
+    assert p.matches([LD(1), ST(2)])
+    assert not p.matches([ST(2), LD(1)])
+    assert p.prefix_of([LD(1)])
+    assert not p.prefix_of([ST(2)])
+
+
+def test_union():
+    p = ld(1) | st_(2)
+    assert p.matches([LD(1)])
+    assert p.matches([ST(2)])
+    assert not p.matches([LD(3)])
+
+
+def test_star():
+    p = Star(ld(1))
+    assert p.matches([])
+    assert p.matches([LD(1)] * 5)
+    assert not p.matches([LD(1), ST(1)])
+    assert p.prefix_of([LD(1)] * 3)
+
+
+def test_star_of_compound():
+    p = Star(ld(1) + st_(2))
+    assert p.matches([LD(1), ST(2)] * 3)
+    assert not p.matches([LD(1), ST(2), LD(1)])
+    assert p.prefix_of([LD(1), ST(2), LD(1)])  # mid-iteration
+
+
+def test_exists_binds_witness():
+    p = Exists("b", (0, 1), lambda b: ld(0x10, value_is(b)) + st_(0x20, value_is(b)))
+    assert p.matches([LD(0x10, 1), ST(0x20, 1)])
+    assert p.matches([LD(0x10, 0), ST(0x20, 0)])
+    assert not p.matches([LD(0x10, 1), ST(0x20, 0)])  # witness must agree
+
+
+def test_capture_and_guard():
+    p = seq(ld(0x10, capture("v")),
+            st_(0x20, capture("w")),
+            Guard(lambda env: env["w"] == env["v"] + 1))
+    assert p.matches([LD(0x10, 5), ST(0x20, 6)])
+    assert not p.matches([LD(0x10, 5), ST(0x20, 7)])
+
+
+def test_repeat_n_data_dependent():
+    p = seq(ld(0x10, capture("n")),
+            RepeatN(lambda env: env["n"], lambda i: ld(0x20)))
+    assert p.matches([LD(0x10, 3), LD(0x20), LD(0x20), LD(0x20)])
+    assert not p.matches([LD(0x10, 3), LD(0x20), LD(0x20)])
+    assert p.prefix_of([LD(0x10, 3), LD(0x20)])
+
+
+def test_repeat_n_per_index_body():
+    p = seq(ld(0x10, capture("n")),
+            RepeatN(lambda env: env["n"],
+                    lambda i: ld(0x20, value_is(i))))
+    assert p.matches([LD(0x10, 2), LD(0x20, 0), LD(0x20, 1)])
+    assert not p.matches([LD(0x10, 2), LD(0x20, 1), LD(0x20, 0)])
+
+
+def test_ambiguous_concat_backtracks():
+    # (a* +++ a) requires at least one a: the split search must backtrack.
+    p = Star(ld(1)) + ld(1)
+    assert p.matches([LD(1)])
+    assert p.matches([LD(1)] * 4)
+    assert not p.matches([])
+
+
+def test_value_where():
+    p = ld(1, value_where(lambda v: v % 2 == 0))
+    assert p.matches([LD(1, 4)])
+    assert not p.matches([LD(1, 5)])
+
+
+def test_nested_star_union():
+    p = Star(union(ld(1), st_(2) + st_(3)))
+    assert p.matches([LD(1), ST(2), ST(3), LD(1)])
+    assert not p.matches([ST(2), LD(1)])
+    assert p.prefix_of([LD(1), ST(2)])
+
+
+# -- properties ---------------------------------------------------------------
+
+addresses = st.sampled_from([1, 2, 3])
+events = st.tuples(st.sampled_from(["ld", "st"]), addresses,
+                   st.integers(0, 3))
+
+
+@st.composite
+def preds(draw, depth=2):
+    kind = draw(st.sampled_from(
+        ["event", "concat", "union", "star"] if depth > 0 else ["event"]))
+    if kind == "event":
+        k = draw(st.sampled_from(["ld", "st"]))
+        a = draw(addresses)
+        return event(k, a)
+    if kind == "concat":
+        return draw(preds(depth=depth - 1)) + draw(preds(depth=depth - 1))
+    if kind == "union":
+        return draw(preds(depth=depth - 1)) | draw(preds(depth=depth - 1))
+    return Star(draw(preds(depth=depth - 1)))
+
+
+@settings(max_examples=120, deadline=None)
+@given(preds(), st.lists(events, max_size=5))
+def test_match_implies_every_prefix_admissible(pred, trace):
+    """Soundness of `prefix_of` against `matches`: if a trace matches, all
+    its prefixes must be admissible prefixes."""
+    trace = list(trace)
+    if pred.matches(trace):
+        for k in range(len(trace) + 1):
+            assert pred.prefix_of(trace[:k])
+
+
+@settings(max_examples=120, deadline=None)
+@given(preds(), st.lists(events, max_size=4))
+def test_residual_lengths_are_consistent(pred, trace):
+    """Every residual endpoint reported really delimits a matching slice."""
+    trace = list(trace)
+    for end, _ in pred.residuals(trace, 0, {}):
+        assert 0 <= end <= len(trace)
+        assert pred.matches(trace[:end])
+
+
+ALPHABET = [("ld", 1, 0), ("ld", 2, 0), ("st", 1, 0), ("st", 2, 0),
+            ("ld", 3, 0), ("st", 3, 0)]
+
+
+def _some_extension_matches(pred, trace, depth):
+    if pred.matches(trace):
+        return True
+    if depth == 0:
+        return False
+    return any(_some_extension_matches(pred, trace + [ev], depth - 1)
+               for ev in ALPHABET)
+
+
+@settings(max_examples=80, deadline=None)
+@given(preds(depth=2), st.lists(st.sampled_from(ALPHABET), max_size=3))
+def test_partial_agrees_with_bounded_extension_search(pred, trace):
+    """`prefix_of` vs ground truth: for small predicates over a small
+    alphabet, trace is a prefix iff some bounded extension matches.
+    (Extensions are searched to depth 4, which covers every predicate the
+    strategy can generate except deep concatenations -- for those the
+    search may be incomplete, so only the 'partial=False' direction is
+    asserted unconditionally.)"""
+    trace = list(trace)
+    claims = pred.prefix_of(trace)
+    found = _some_extension_matches(pred, trace, depth=4)
+    if found:
+        assert claims, "a matching extension exists but prefix_of said no"
+    if not claims:
+        assert not found

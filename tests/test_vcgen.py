@@ -1,0 +1,347 @@
+"""Unit tests for the program logic (vcgen): symbolic execution, loop
+invariants, contracts, memory regions, external-call obligations."""
+
+import pytest
+
+from repro.bedrock2.builder import (
+    block, call, func, if_, interact, lit, load1, load4, set_, skip,
+    stackalloc, store4, var, while_,
+)
+from repro.bedrock2.extspec import MMIOSpec
+from repro.bedrock2.vcgen import (
+    Contract, FunctionSpec, LoopSpec, Region, SymEvent, TraceHole,
+    VerificationError, verify_function,
+)
+from repro.logic import terms as T
+
+MMIO = MMIOSpec([(0x10012000, 0x10013000), (0x10024000, 0x10025000)])
+
+
+def verify(prog, name, spec, contracts=None, **kwargs):
+    return verify_function(prog, name, spec, MMIO, contracts=contracts,
+                           **kwargs)
+
+
+# -- straight-line functional verification -----------------------------------------
+
+def test_verifies_arithmetic_identity():
+    prog = {"f": func("f", ("x",), ("r",), set_("r", (var("x") + 1) - 1))}
+
+    def post(vc, state, args, rets):
+        vc.prove(state, T.eq(rets[0], args[0]), "post")
+
+    report = verify(prog, "f", FunctionSpec(post=post))
+    assert report.paths == 1
+
+
+def test_detects_wrong_postcondition():
+    prog = {"f": func("f", ("x",), ("r",), set_("r", var("x") + 1))}
+
+    def post(vc, state, args, rets):
+        vc.prove(state, T.eq(rets[0], args[0]), "post")
+
+    with pytest.raises(VerificationError) as err:
+        verify(prog, "f", FunctionSpec(post=post))
+    assert err.value.model is not None  # countermodel included
+
+
+def test_branches_explored_both_ways():
+    prog = {"f": func("f", ("x",), ("r",),
+                      if_(var("x") < 10, set_("r", lit(1)), set_("r", lit(2))))}
+
+    def post(vc, state, args, rets):
+        vc.prove(state, T.or_(T.eq(rets[0], T.const(1)),
+                              T.eq(rets[0], T.const(2))), "post")
+
+    report = verify(prog, "f", FunctionSpec(post=post))
+    assert report.paths == 2
+
+
+def test_infeasible_branch_pruned():
+    prog = {"f": func("f", (), ("r",), block(
+        set_("x", lit(3)),
+        if_(var("x") < 10, set_("r", lit(1)), set_("r", lit(2)))))}
+    report = verify(prog, "f", FunctionSpec())
+    assert report.paths == 1  # constant condition: else is dead
+
+
+# -- memory ------------------------------------------------------------------------
+
+def region_pre(size=16):
+    def pre(vc, state, args):
+        buf = args[0]
+        state.assume(T.eq(T.band(buf, T.const(3)), T.const(0)))
+        state.assume(T.ule(buf, T.const(0xFFFFFFFF - size)))
+        state.regions["buf"] = Region("buf", buf, size,
+                                      [vc.fresh("b%d" % i, 8)
+                                       for i in range(size)])
+    return pre
+
+
+def test_in_bounds_concrete_store_load():
+    prog = {"f": func("f", ("p",), ("r",), block(
+        store4(var("p") + 4, lit(0xAABBCCDD)),
+        set_("r", load4(var("p") + 4))))}
+
+    def post(vc, state, args, rets):
+        vc.prove(state, T.eq(rets[0], T.const(0xAABBCCDD)), "roundtrip")
+
+    verify(prog, "f", FunctionSpec(pre=region_pre(), post=post))
+
+
+def test_out_of_bounds_store_rejected():
+    prog = {"f": func("f", ("p",), (), store4(var("p") + 16, lit(1)))}
+    with pytest.raises(VerificationError):
+        verify(prog, "f", FunctionSpec(pre=region_pre(16)))
+
+
+def test_misaligned_store_rejected():
+    prog = {"f": func("f", ("p",), (), store4(var("p") + 2, lit(1)))}
+    with pytest.raises(VerificationError):
+        verify(prog, "f", FunctionSpec(pre=region_pre(16)))
+
+
+def test_byte_access_any_offset():
+    prog = {"f": func("f", ("p",), ("r",), set_("r", load1(var("p") + 15)))}
+
+    def post(vc, state, args, rets):
+        vc.prove(state, T.ule(rets[0], T.const(0xFF)), "byte range")
+
+    verify(prog, "f", FunctionSpec(pre=region_pre(16), post=post))
+
+
+def test_symbolic_offset_store_in_bounds():
+    # p[i] for i < 4 words: provable with the hypothesis in pre.
+    prog = {"f": func("f", ("p", "i"), (), store4(var("p") + (var("i") << 2),
+                                                  lit(7)))}
+
+    def pre(vc, state, args):
+        region_pre(16)(vc, state, args)
+        state.assume(T.ult(args[1], T.const(4)))
+
+    verify(prog, "f", FunctionSpec(pre=pre))
+
+
+def test_symbolic_offset_store_unbounded_rejected():
+    prog = {"f": func("f", ("p", "i"), (), store4(var("p") + (var("i") << 2),
+                                                  lit(7)))}
+    with pytest.raises(VerificationError):
+        verify(prog, "f", FunctionSpec(pre=region_pre(16)))
+
+
+def test_stackalloc_region_scoped():
+    prog = {"f": func("f", (), ("r",), block(
+        stackalloc("p", 8, block(store4(var("p"), lit(3)),
+                                 set_("r", load4(var("p"))))),
+    ))}
+
+    def post(vc, state, args, rets):
+        vc.prove(state, T.eq(rets[0], T.const(3)), "post")
+        assert not state.regions  # deallocated at scope exit
+
+    verify(prog, "f", FunctionSpec(post=post))
+
+
+def test_use_after_stackalloc_scope_rejected():
+    prog = {"f": func("f", (), ("r",), block(
+        stackalloc("p", 8, skip()),
+        set_("r", load4(var("p")))))}
+    with pytest.raises(VerificationError):
+        verify(prog, "f", FunctionSpec())
+
+
+# -- external calls -------------------------------------------------------------------
+
+def test_mmio_range_obligation():
+    ok = {"f": func("f", (), (), interact([], "MMIOWRITE", lit(0x10012008),
+                                          lit(1)))}
+    verify(ok, "f", FunctionSpec())
+    bad = {"f": func("f", (), (), interact([], "MMIOWRITE", lit(0x20000000),
+                                           lit(1)))}
+    with pytest.raises(VerificationError):
+        verify(bad, "f", FunctionSpec())
+
+
+def test_mmio_alignment_obligation():
+    bad = {"f": func("f", (), (), interact([], "MMIOWRITE", lit(0x10012002),
+                                           lit(1)))}
+    with pytest.raises(VerificationError):
+        verify(bad, "f", FunctionSpec())
+
+
+def test_mmio_read_value_universally_quantified():
+    # The postcondition must hold for every value the device may return.
+    prog = {"f": func("f", (), ("r",),
+                      interact(["r"], "MMIOREAD", lit(0x10024048)))}
+
+    def post_any(vc, state, args, rets):
+        vc.prove(state, T.ule(rets[0], T.const(0xFFFFFFFF)), "trivial")
+
+    verify(prog, "f", FunctionSpec(post=post_any))
+
+    def post_specific(vc, state, args, rets):
+        vc.prove(state, T.eq(rets[0], T.const(7)), "specific")
+
+    with pytest.raises(VerificationError):
+        verify(prog, "f", FunctionSpec(post=post_specific))
+
+
+def test_trace_records_symbolic_events():
+    prog = {"f": func("f", (), (), block(
+        interact(["v"], "MMIOREAD", lit(0x10024048)),
+        interact([], "MMIOWRITE", lit(0x1002404C), var("v"))))}
+
+    def post(vc, state, args, rets):
+        assert len(state.trace) == 2
+        read, write = state.trace
+        assert isinstance(read, SymEvent) and read.action == "MMIOREAD"
+        assert isinstance(write, SymEvent) and write.action == "MMIOWRITE"
+        # The written value IS the read value, symbolically.
+        vc.prove(state, T.eq(write.args[1], read.rets[0]), "echo")
+
+    verify(prog, "f", FunctionSpec(post=post))
+
+
+# -- loops -------------------------------------------------------------------------------
+
+def counting_loop(spec):
+    return {"f": func("f", ("n",), ("s",), block(
+        set_("s", lit(0)), set_("i", lit(0)),
+        while_(var("i") < var("n"), block(
+            set_("s", var("s") + 1),
+            set_("i", var("i") + 1)), spec=spec)))}
+
+
+def test_loop_with_invariant_and_measure():
+    spec = LoopSpec(
+        invariant=lambda st: T.and_(
+            T.ule(st.locals["i"], st.locals["n"]),
+            T.eq(st.locals["s"], st.locals["i"])),
+        measure=lambda st: T.sub(st.locals["n"], st.locals["i"]))
+
+    def pre(vc, state, args):
+        state.assume(T.ult(args[0], T.const(1 << 30)))  # no wraparound
+
+    def post(vc, state, args, rets):
+        vc.prove(state, T.eq(rets[0], args[0]), "sum equals n")
+
+    verify(counting_loop(spec), "f", FunctionSpec(pre=pre, post=post))
+
+
+def test_loop_invariant_not_inductive_rejected():
+    spec = LoopSpec(
+        invariant=lambda st: T.eq(st.locals["s"], T.const(0)),  # broken
+        measure=lambda st: T.sub(st.locals["n"], st.locals["i"]))
+    with pytest.raises(VerificationError) as err:
+        verify(counting_loop(spec), "f", FunctionSpec())
+    assert "inv-preserved" in err.value.context
+
+
+def test_loop_measure_must_decrease():
+    prog = {"f": func("f", ("n",), (), block(
+        set_("i", lit(0)),
+        while_(var("i") < var("n"), skip(),  # no progress!
+               spec=LoopSpec(invariant=lambda st: T.TRUE,
+                             measure=lambda st: T.sub(st.locals["n"],
+                                                      st.locals["i"])))))}
+    with pytest.raises(VerificationError) as err:
+        verify(prog, "f", FunctionSpec())
+    assert "measure" in err.value.context
+
+
+def test_loop_event_filter_enforced():
+    prog = {"f": func("f", ("n",), (), block(
+        set_("i", var("n")),
+        while_(var("i"), block(
+            interact([], "MMIOWRITE", lit(0x10012008), lit(1)),
+            set_("i", var("i") - 1)),
+            spec=LoopSpec(
+                invariant=lambda st: T.TRUE,
+                measure=lambda st: st.locals["i"],
+                event_filter=_only_reads))))}
+    with pytest.raises(VerificationError):
+        verify(prog, "f", FunctionSpec())
+
+
+def _only_reads(vc, state, event, ctx):
+    if not (isinstance(event, SymEvent) and event.action == "MMIOREAD"):
+        raise VerificationError(ctx, "loop may only read")
+
+
+def test_bounded_unrolling_without_spec():
+    prog = {"f": func("f", (), ("s",), block(
+        set_("s", lit(0)), set_("i", lit(4)),
+        while_(var("i"), block(set_("s", var("s") + 2),
+                               set_("i", var("i") - 1)))))}
+
+    def post(vc, state, args, rets):
+        vc.prove(state, T.eq(rets[0], T.const(8)), "unrolled sum")
+
+    verify(prog, "f", FunctionSpec(post=post))
+
+
+def test_unbounded_loop_without_spec_rejected():
+    prog = {"f": func("f", ("n",), (), block(
+        set_("i", var("n")),
+        while_(var("i"), set_("i", var("i") - 1))))}
+    with pytest.raises(VerificationError) as err:
+        verify(prog, "f", FunctionSpec(), unroll_limit=8)
+    assert "unroll" in str(err.value)
+
+
+# -- contracts (modularity) -----------------------------------------------------------
+
+def test_contract_replaces_callee():
+    prog = {
+        "helper": func("helper", ("a",), ("b",), set_("b", var("a") + 1)),
+        "f": func("f", ("x",), ("r",), call(("r",), "helper", var("x"))),
+    }
+    contract = Contract(
+        "helper",
+        post=lambda vc, state, args, rets, ctx: state.assume(
+            T.eq(rets[0], T.add(args[0], T.const(1)))))
+
+    def post(vc, state, args, rets):
+        vc.prove(state, T.eq(rets[0], T.add(args[0], T.const(1))), "post")
+
+    verify(prog, "f", FunctionSpec(post=post),
+           contracts={"helper": contract})
+
+
+def test_contract_pre_obligation_at_call_site():
+    prog = {
+        "helper": func("helper", ("a",), ("b",), set_("b", var("a"))),
+        "f": func("f", ("x",), ("r",), call(("r",), "helper", var("x"))),
+    }
+    contract = Contract(
+        "helper",
+        pre=lambda vc, state, args, ctx: vc.prove(
+            state, T.ult(args[0], T.const(10)), ctx + "/arg<10"))
+    with pytest.raises(VerificationError):
+        verify(prog, "f", FunctionSpec(), contracts={"helper": contract})
+
+
+def test_contract_trace_effect_appends_hole():
+    prog = {
+        "io": func("io", (), (), interact([], "MMIOWRITE", lit(0x10012008),
+                                          lit(1))),
+        "f": func("f", (), (), call((), "io")),
+    }
+    contract = Contract("io", trace_effect=lambda args, rets: [TraceHole("io")])
+
+    def post(vc, state, args, rets):
+        assert state.trace == [TraceHole("io")]
+
+    verify(prog, "f", FunctionSpec(post=post), contracts={"io": contract})
+
+
+def test_uncontracted_callee_is_inlined():
+    prog = {
+        "sq": func("sq", ("a",), ("b",), set_("b", var("a") * var("a"))),
+        "f": func("f", (), ("r",), call(("r",), "sq", lit(5))),
+    }
+
+    def post(vc, state, args, rets):
+        vc.prove(state, T.eq(rets[0], T.const(25)), "post")
+
+    verify(prog, "f", FunctionSpec(post=post))
