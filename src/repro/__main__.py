@@ -6,9 +6,14 @@ Wraps the library's main entry points for interactive exploration:
 * ``check``       -- the per-interface integration checks (Figure 3)
 * ``end2end``     -- run the end-to-end theorem checker with packets
 * ``bench``       -- the §7.2.1 latency decomposition
+* ``stats``       -- run a verify+end2end workload, print all obs counters
 * ``disasm``      -- disassemble the compiled lightbulb (or doorlock)
 * ``export-c``    -- print the Bedrock2-to-C export of the lightbulb
 * ``demo``        -- a short interactive lightbulb session on the ISA machine
+
+``verify``, ``end2end``, ``bench`` and ``stats`` accept
+``--trace-out FILE.jsonl`` to record a Chrome-trace-format span trace
+(open in Perfetto; see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -17,52 +22,108 @@ import argparse
 import sys
 
 
+def _obs_start(args) -> bool:
+    """Enable observability if the command asked for a trace."""
+    if getattr(args, "trace_out", None):
+        from . import obs
+
+        # Fail on an unwritable path *before* the workload runs, not
+        # after minutes of execution at export time.
+        with open(args.trace_out, "w"):
+            pass
+        obs.enable(trace=True)
+        return True
+    return False
+
+
+def _obs_finish(args) -> None:
+    if getattr(args, "trace_out", None):
+        from . import obs
+
+        events = obs.export_trace(args.trace_out)
+        print("wrote %d trace events to %s (Chrome trace JSONL)"
+              % (events, args.trace_out))
+
+
 def cmd_verify(args) -> int:
     from .sw.verify import verify_all, verify_doorlock, verify_drain_buggy_fails
 
+    _obs_start(args)
     run = verify_all()
     print(run)
     print("door-lock application (reusing the driver contracts):")
     print(verify_doorlock())
     err = verify_drain_buggy_fails()
     print("negative control: buggy drain fails at %s" % err.context)
+    _obs_finish(args)
     return 0
 
 
 def cmd_check(args) -> int:
     from .core.integration import run_all_checks
 
+    checks = 0
     failures = 0
     for result in run_all_checks():
         print("%-45s %s" % (result.name,
                             "ok" if result.ok else "FAILED " + result.detail))
+        checks += 1
         failures += 0 if result.ok else 1
+    print("%d checks, %d failed" % (checks, failures))
     return 1 if failures else 0
 
 
 def cmd_end2end(args) -> int:
     from .core.end2end import run_adversarial
 
+    _obs_start(args)
     result = run_adversarial(seed=args.seed, n_frames=args.frames,
-                             processor=args.processor)
+                             processor=args.processor,
+                             max_units=args.units)
     print("processor=%s frames=%d: %s" % (
         args.processor, args.frames,
         "trace within goodHlTrace" if result.ok else "VIOLATION: " + result.detail))
     print("instructions=%d mmio_events=%d bulb_history=%r"
           % (result.instructions, len(result.trace), result.bulb_history))
+    _obs_finish(args)
     return 0 if result.ok else 1
 
 
 def cmd_bench(args) -> int:
     from .core.timing import factor_decomposition
 
+    _obs_start(args)
     decomposition = factor_decomposition()
     print("%-18s %9s %7s" % ("factor", "measured", "paper"))
     for key in ("spi_pipelining", "timeout_logic", "compiler", "processor",
                 "total"):
         print("%-18s %8.2fx %6.1fx" % (key, decomposition[key],
                                        decomposition["paper"][key]))
+    _obs_finish(args)
     return 0
+
+
+def cmd_stats(args) -> int:
+    """Run a representative verify + end2end workload with observability
+    enabled and print every counter/gauge/histogram in the registry."""
+    from . import obs
+    from .core.end2end import run_adversarial
+    from .sw.verify import verify_all
+
+    obs.enable(trace=True)
+    run = verify_all()
+    print("verified %d functions, %d obligations discharged"
+          % (len(run.reports), run.total_obligations))
+    result = run_adversarial(seed=args.seed, n_frames=args.frames,
+                             max_units=args.units)
+    print("end2end (%d units): %s, %d instructions, %d MMIO events"
+          % (args.units,
+             "in spec" if result.ok else "VIOLATION: " + result.detail,
+             result.instructions, len(result.trace)))
+    print()
+    print(obs.REGISTRY.render())
+    _obs_finish(args)
+    return 0 if result.ok else 1
 
 
 def cmd_disasm(args) -> int:
@@ -126,14 +187,31 @@ def main(argv=None) -> int:
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("verify", help="verify the lightbulb software")
+
+    def add_trace_out(p):
+        p.add_argument("--trace-out", metavar="FILE.jsonl", default=None,
+                       help="write a Chrome-trace-format span trace "
+                            "(open in Perfetto / chrome://tracing)")
+
+    p = sub.add_parser("verify", help="verify the lightbulb software")
+    add_trace_out(p)
     sub.add_parser("check", help="run the integration checks")
     p = sub.add_parser("end2end", help="end-to-end theorem with fuzzing")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--frames", type=int, default=10)
+    p.add_argument("--units", type=int, default=600_000,
+                   help="execution units (instructions or Kami steps)")
     p.add_argument("--processor", choices=("isa", "kami-spec", "p4mm"),
                    default="isa")
-    sub.add_parser("bench", help="latency decomposition (§7.2.1)")
+    add_trace_out(p)
+    p = sub.add_parser("bench", help="latency decomposition (§7.2.1)")
+    add_trace_out(p)
+    p = sub.add_parser("stats", help="run a workload, print obs counters")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--frames", type=int, default=2)
+    p.add_argument("--units", type=int, default=60_000,
+                   help="end2end execution units for the stats workload")
+    add_trace_out(p)
     p = sub.add_parser("disasm", help="disassemble a compiled app")
     p.add_argument("--app", choices=("lightbulb", "doorlock"),
                    default="lightbulb")
@@ -145,6 +223,7 @@ def main(argv=None) -> int:
         "check": cmd_check,
         "end2end": cmd_end2end,
         "bench": cmd_bench,
+        "stats": cmd_stats,
         "disasm": cmd_disasm,
         "export-c": cmd_export_c,
         "demo": cmd_demo,

@@ -30,8 +30,16 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..logic import solver as S
 from ..logic import terms as T
+
+# Observability: verification-condition production counters (pre-bound;
+# see docs/observability.md). Spans per VC are emitted by `VC.prove`.
+_VCS_PROVED = obs.counter("vcgen.obligations_proved")
+_VCS_ASSUMED = obs.counter("vcgen.assumptions_made")
+_PATHS = obs.counter("vcgen.paths_explored")
+_FUNCTIONS = obs.counter("vcgen.functions_verified")
 from .ast_ import (
     Cmd,
     ELit,
@@ -171,6 +179,7 @@ class SymState:
     def assume(self, fact: T.Term) -> None:
         if fact is not T.TRUE:
             self.path.append(fact)
+            _VCS_ASSUMED.inc()
 
     def infeasible(self) -> bool:
         return T.and_(*self.path) is T.FALSE
@@ -194,12 +203,14 @@ class VC:
 
     def prove(self, state: SymState, goal: T.Term, context: str) -> None:
         """Discharge an obligation under the current path condition."""
-        result = S.check_valid(goal, hypotheses=state.path,
-                               max_conflicts=self.max_conflicts)
+        with obs.span("vc.prove", cat="vcgen", args={"context": context}):
+            result = S.check_valid(goal, hypotheses=state.path,
+                                   max_conflicts=self.max_conflicts)
         if not result.valid:
             raise VerificationError(context, "cannot prove %r" % (goal,),
                                     result.model)
         self.obligations_proved += 1
+        _VCS_PROVED.inc()
 
     def feasible(self, state: SymState) -> bool:
         """Cheap path-feasibility check (used to prune dead branches)."""
@@ -266,6 +277,7 @@ class SymExec:
                                    max_conflicts=self.vc.max_conflicts)
             if result.valid:
                 self.vc.obligations_proved += 1
+                _VCS_PROVED.inc()
                 return region, None, offset
         raise VerificationError(
             context,
@@ -606,21 +618,27 @@ def verify_function(program: Program, fname: str, spec: FunctionSpec,
     state = SymState()
     args = tuple(vc.fresh(p) for p in fn.params)
     state.locals = dict(zip(fn.params, args))
-    if spec.pre is not None:
-        spec.pre(vc, state, args)
-    executor = SymExec(program, vc, ext_spec, contracts=contracts,
-                       unroll_limit=unroll_limit)
-    paths = [0]
+    with obs.span("verify." + fname, cat="vcgen") as sp:
+        if spec.pre is not None:
+            spec.pre(vc, state, args)
+        executor = SymExec(program, vc, ext_spec, contracts=contracts,
+                           unroll_limit=unroll_limit)
+        paths = [0]
 
-    def on_exit(final: SymState) -> None:
-        paths[0] += 1
-        rets = []
-        for name in fn.rets:
-            if name not in final.locals:
-                raise VerificationError(fname, "missing return variable %r" % name)
-            rets.append(final.locals[name])
-        if spec.post is not None:
-            spec.post(vc, final, args, tuple(rets))
+        def on_exit(final: SymState) -> None:
+            paths[0] += 1
+            rets = []
+            for name in fn.rets:
+                if name not in final.locals:
+                    raise VerificationError(fname,
+                                            "missing return variable %r" % name)
+                rets.append(final.locals[name])
+            if spec.post is not None:
+                spec.post(vc, final, args, tuple(rets))
 
-    executor.run(fn.body, state, on_exit, context=fname)
+        executor.run(fn.body, state, on_exit, context=fname)
+        sp.set("paths", paths[0])
+        sp.set("obligations", vc.obligations_proved)
+    _FUNCTIONS.inc()
+    _PATHS.inc(paths[0])
     return VerifyReport(fname, paths[0], vc.obligations_proved)

@@ -250,3 +250,23 @@ def stmt_vars(stmts: Sequence[FStmt], acc: Optional[set] = None) -> set:
             acc.update(s.binds)
             acc.update(s.args)
     return acc
+
+
+def stmt_count(stmts: Sequence[FStmt]) -> int:
+    """Number of statements, counting nested bodies (the IR-size measure
+    reported by the compiler's observability spans)."""
+    n = 0
+    for s in stmts:
+        n += 1
+        if isinstance(s, FStackalloc):
+            n += stmt_count(s.body)
+        elif isinstance(s, FIf):
+            n += stmt_count(s.then_) + stmt_count(s.else_)
+        elif isinstance(s, FWhile):
+            n += stmt_count(s.cond_stmts) + stmt_count(s.body)
+    return n
+
+
+def program_size(flat: "FProgram") -> int:
+    """Total statement count of a FlatImp program."""
+    return sum(stmt_count(fn.body) for fn in flat.values())

@@ -565,11 +565,24 @@ def allocate_program_linear_scan(program: FProgram):
 
 # -- the optimizing pipeline -----------------------------------------------------------------
 
+def _opt_pass(name: str, fn, flat: FProgram) -> FProgram:
+    """Run one FlatImp pass under a span carrying the IR size delta."""
+    from .flatimp import program_size
+    from .pipeline import timed_pass
+
+    with timed_pass(name, program_size(flat)) as sp:
+        flat = fn(flat)
+        sp.set("stmts_out", program_size(flat))
+    return flat
+
+
 def optimize(flat: FProgram, inline_max_size: int = 40) -> FProgram:
-    flat = inline_program(flat, max_size=inline_max_size)
+    flat = _opt_pass("inline",
+                     lambda f: inline_program(f, max_size=inline_max_size),
+                     flat)
     for _ in range(2):
-        flat = const_prop_program(flat)
-        flat = dce_program(flat)
+        flat = _opt_pass("const_prop", const_prop_program, flat)
+        flat = _opt_pass("dce", dce_program, flat)
     return flat
 
 
@@ -585,39 +598,44 @@ def compile_program_optimized(program: Program, entry: str = "main",
 
     if ext_compiler is None:
         ext_compiler = MMIOExtCallCompiler()
-    flat = optimize(flatten_program(program), inline_max_size)
-    reg_flat, allocations = allocate_program_linear_scan(flat)
+    from .. import obs
+    with obs.span("compiler.compile_program_optimized", cat="compiler",
+                  args={"entry": entry}):
+        flat = optimize(flatten_program(program), inline_max_size)
+        reg_flat, allocations = allocate_program_linear_scan(flat)
 
-    from .codegen import RA, SP, ZERO
-    items = []
-    start = FunctionCompiler(FFunction("_start", (), (), ()), ext_compiler, 0)
-    start.emit(Label("_start"))
-    start.emit_li(SP, stack_top)
-    start.emit(JumpTo(RA, "func." + entry))
-    start.emit(Label("halt"))
-    start.emit(JumpTo(ZERO, "halt"))
-    items += start.items
-    frame_sizes = {}
-    for name in sorted(reg_flat):
-        fn = reg_flat[name]
-        fc = FunctionCompiler(fn, ext_compiler, allocations[name].num_spills)
-        items += fc.compile_function()
-        frame_sizes[name] = fc.frame_size
-    symbols = {}
-    pc = base
-    for item in items:
-        if isinstance(item, Label):
-            symbols[item.name] = pc
-        else:
-            pc += 4
-    instrs = resolve_labels(items, base=base)
-    return CompiledProgram(
-        instrs=instrs,
-        image=encode_program(instrs),
-        symbols=symbols,
-        entry=entry,
-        halt_pc=symbols["halt"],
-        stack_top=stack_top,
-        frame_sizes=frame_sizes,
-        stack_bound=compute_stack_bound(flat, frame_sizes, entry),
-    )
+        from .codegen import RA, SP, ZERO
+        items = []
+        start = FunctionCompiler(FFunction("_start", (), (), ()),
+                                 ext_compiler, 0)
+        start.emit(Label("_start"))
+        start.emit_li(SP, stack_top)
+        start.emit(JumpTo(RA, "func." + entry))
+        start.emit(Label("halt"))
+        start.emit(JumpTo(ZERO, "halt"))
+        items += start.items
+        frame_sizes = {}
+        for name in sorted(reg_flat):
+            fn = reg_flat[name]
+            fc = FunctionCompiler(fn, ext_compiler,
+                                  allocations[name].num_spills)
+            items += fc.compile_function()
+            frame_sizes[name] = fc.frame_size
+        symbols = {}
+        pc = base
+        for item in items:
+            if isinstance(item, Label):
+                symbols[item.name] = pc
+            else:
+                pc += 4
+        instrs = resolve_labels(items, base=base)
+        return CompiledProgram(
+            instrs=instrs,
+            image=encode_program(instrs),
+            symbols=symbols,
+            entry=entry,
+            halt_pc=symbols["halt"],
+            stack_top=stack_top,
+            frame_sizes=frame_sizes,
+            stack_bound=compute_stack_bound(flat, frame_sizes, entry),
+        )

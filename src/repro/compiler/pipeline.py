@@ -13,9 +13,11 @@ is statically sized, so the deepest call path gives a hard bound.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..bedrock2.ast_ import Program
 from ..riscv import insts as I
 from ..riscv.encode import encode_program
@@ -33,9 +35,60 @@ from .codegen import (
     MMIOExtCallCompiler,
     resolve_labels,
 )
-from .flatimp import FCall, FFunction, FIf, FProgram, FStackalloc, FStmt, FWhile
+from .flatimp import (
+    FCall,
+    FFunction,
+    FIf,
+    FProgram,
+    FStackalloc,
+    FStmt,
+    FWhile,
+    program_size,
+)
 from .flatten import flatten_program
 from .regalloc import allocate_program
+
+# Observability: per-pass timing histograms and IR-size gauges; spans are
+# emitted around each pass when tracing is enabled (`repro.obs`).
+_COMPILES = obs.counter("compiler.compiles")
+_INSTRS_EMITTED = obs.counter("compiler.instrs_emitted")
+_IMAGE_BYTES = obs.gauge("compiler.image_bytes")
+_FLAT_STMTS = obs.gauge("compiler.flatimp_stmts")
+
+
+def timed_pass(name: str, size_in: Optional[int] = None):
+    """Span + histogram wrapper for one compiler pass. Returns a context
+    manager whose span carries the IR size before the pass; callers attach
+    the post-pass size with ``sp.set("stmts_out", n)``."""
+    args = {"stmts_in": size_in} if size_in is not None else None
+    return _PassTimer(name, args)
+
+
+class _PassTimer:
+    """Times a pass into ``compiler.pass.<name>.seconds`` and, when
+    tracing, nests a span under the enclosing compile span."""
+
+    __slots__ = ("name", "args", "_span", "_t0")
+
+    def __init__(self, name: str, args):
+        self.name = name
+        self.args = args
+        self._span = None
+        self._t0 = 0.0
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        self._span = obs.span("compiler." + self.name, cat="compiler",
+                              args=self.args)
+        self._span.__enter__()
+        return self._span
+
+    def __exit__(self, *exc):
+        self._span.__exit__(*exc)
+        if obs.ENABLED:
+            obs.histogram("compiler.pass.%s.seconds" % self.name).record(
+                time.perf_counter() - self._t0)
+        return False
 
 
 @dataclass
@@ -114,38 +167,54 @@ def compile_program(program: Program, entry: str = "main",
     if ext_compiler is None:
         ext_compiler = MMIOExtCallCompiler()
 
-    flat = flatten_program(program)
-    reg_flat, allocations = allocate_program(flat)
+    _COMPILES.inc()
+    with obs.span("compiler.compile_program", cat="compiler",
+                  args={"entry": entry}):
+        with timed_pass("flatten") as sp:
+            flat = flatten_program(program)
+            sp.set("stmts_out", program_size(flat))
+        with timed_pass("regalloc", program_size(flat)) as sp:
+            reg_flat, allocations = allocate_program(flat)
+            sp.set("stmts_out", program_size(reg_flat))
 
-    items: List[Item] = []
-    # _start stub.
-    start = FunctionCompiler(FFunction("_start", (), (), ()), ext_compiler, 0)
-    start.emit(Label("_start"))
-    start.emit_li(SP, stack_top)
-    start.emit(JumpTo(RA, "func." + entry))
-    start.emit(Label("halt"))
-    start.emit(JumpTo(ZERO, "halt"))
-    items += start.items
+        items: List[Item] = []
+        # _start stub.
+        start = FunctionCompiler(FFunction("_start", (), (), ()),
+                                 ext_compiler, 0)
+        start.emit(Label("_start"))
+        start.emit_li(SP, stack_top)
+        start.emit(JumpTo(RA, "func." + entry))
+        start.emit(Label("halt"))
+        start.emit(JumpTo(ZERO, "halt"))
+        items += start.items
 
-    frame_sizes: Dict[str, int] = {}
-    for name in sorted(reg_flat):
-        fn = reg_flat[name]
-        fc = FunctionCompiler(fn, ext_compiler, allocations[name].num_spills)
-        items += fc.compile_function()
-        frame_sizes[name] = fc.frame_size
+        frame_sizes: Dict[str, int] = {}
+        with timed_pass("codegen", program_size(reg_flat)) as sp:
+            for name in sorted(reg_flat):
+                fn = reg_flat[name]
+                fc = FunctionCompiler(fn, ext_compiler,
+                                      allocations[name].num_spills)
+                items += fc.compile_function()
+                frame_sizes[name] = fc.frame_size
+            sp.set("items_out", len(items))
 
-    # Symbol table (label -> address).
-    symbols: Dict[str, int] = {}
-    pc = base
-    for item in items:
-        if isinstance(item, Label):
-            symbols[item.name] = pc
-        else:
-            pc += 4
+        # Symbol table (label -> address).
+        symbols: Dict[str, int] = {}
+        pc = base
+        for item in items:
+            if isinstance(item, Label):
+                symbols[item.name] = pc
+            else:
+                pc += 4
 
-    instrs = resolve_labels(items, base=base)
-    image = encode_program(instrs)
-    stack_bound = compute_stack_bound(flat, frame_sizes, entry)
+        with timed_pass("encode") as sp:
+            instrs = resolve_labels(items, base=base)
+            image = encode_program(instrs)
+            sp.set("image_bytes", len(image))
+        stack_bound = compute_stack_bound(flat, frame_sizes, entry)
+        _INSTRS_EMITTED.inc(len(instrs))
+        _IMAGE_BYTES.set(len(image))
+        _FLAT_STMTS.set(program_size(flat))
     return CompiledProgram(
         instrs=instrs,
         image=image,

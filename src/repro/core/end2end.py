@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..kami.refinement import build_pipelined_system, build_spec_system
 from ..platform.net import adversarial_stream, is_valid_command
 from ..riscv.machine import RiscvMachine
@@ -26,6 +27,12 @@ from ..sw.program import Platform, compiled_lightbulb, make_platform
 from ..sw.specs import good_hl_trace
 
 Event = Tuple[str, int, int]
+
+_RUNS = obs.counter("end2end.runs")
+_CHECKPOINTS = obs.counter("end2end.checkpoints")
+_PREFIX_CHECKS = obs.counter("end2end.prefix_checks")
+_FRAMES_INJECTED = obs.counter("end2end.frames_injected")
+_FRAMES_ACCEPTED = obs.counter("end2end.frames_accepted")
 
 
 @dataclass
@@ -57,8 +64,12 @@ class _InjectionSchedule:
         while self.pending and self.pending[0][0] <= checkpoint:
             _, frame = self.pending.pop(0)
             self.delivered.append(frame)
+            _FRAMES_INJECTED.inc()
+            obs.instant("end2end.inject_frame", cat="end2end",
+                        args={"bytes": len(frame)})
             if self.platform.lan.inject_frame(frame):
                 self.accepted.append(frame)
+                _FRAMES_ACCEPTED.inc()
 
 
 def run_end_to_end(frames: Sequence[Tuple[int, bytes]] = (),
@@ -110,35 +121,48 @@ def run_end_to_end(frames: Sequence[Tuple[int, bytes]] = (),
     checkpoints = 0
     units_done = 0
     last_checked_len = -1
-    while units_done < max_units:
-        step = min(checkpoint_every, max_units - units_done)
-        advance(step)
-        units_done += step
-        checkpoints += 1
-        schedule.tick(checkpoints)
-        if checkpoints % spec_stride and units_done < max_units:
-            continue
+    _RUNS.inc()
+    with obs.span("end2end.run", cat="end2end",
+                  args={"processor": processor, "max_units": max_units}):
+        while units_done < max_units:
+            step = min(checkpoint_every, max_units - units_done)
+            with obs.span("end2end.checkpoint", cat="end2end"):
+                advance(step)
+            units_done += step
+            checkpoints += 1
+            _CHECKPOINTS.inc()
+            schedule.tick(checkpoints)
+            if checkpoints % spec_stride and units_done < max_units:
+                continue
+            trace = list(get_trace())
+            if len(trace) == last_checked_len:
+                continue
+            last_checked_len = len(trace)
+            _PREFIX_CHECKS.inc()
+            with obs.span("end2end.prefix_check", cat="end2end",
+                          args={"events": len(trace)}):
+                within_spec = spec.prefix_of(trace)
+            if not within_spec:
+                return EndToEndResult(False, trace, plat.gpio.bulb_history,
+                                      detail="trace is not a prefix of "
+                                             "goodHlTrace after %d units"
+                                             % units_done,
+                                      checkpoints=checkpoints,
+                                      instructions=instructions())
         trace = list(get_trace())
-        if len(trace) == last_checked_len:
-            continue
-        last_checked_len = len(trace)
-        if not spec.prefix_of(trace):
-            return EndToEndResult(False, trace, plat.gpio.bulb_history,
-                                  detail="trace is not a prefix of "
-                                         "goodHlTrace after %d units"
-                                         % units_done,
-                                  checkpoints=checkpoints,
-                                  instructions=instructions())
-    trace = list(get_trace())
-    if len(trace) != last_checked_len and not spec.prefix_of(trace):
-        return EndToEndResult(False, trace, plat.gpio.bulb_history,
-                              detail="final trace is not a prefix of "
-                                     "goodHlTrace",
+        if len(trace) != last_checked_len:
+            _PREFIX_CHECKS.inc()
+            with obs.span("end2end.prefix_check", cat="end2end",
+                          args={"events": len(trace)}):
+                if not spec.prefix_of(trace):
+                    return EndToEndResult(
+                        False, trace, plat.gpio.bulb_history,
+                        detail="final trace is not a prefix of goodHlTrace",
+                        checkpoints=checkpoints,
+                        instructions=instructions())
+        return EndToEndResult(True, trace, plat.gpio.bulb_history,
                               checkpoints=checkpoints,
                               instructions=instructions())
-    return EndToEndResult(True, trace, plat.gpio.bulb_history,
-                          checkpoints=checkpoints,
-                          instructions=instructions())
 
 
 def run_adversarial(seed: int, n_frames: int = 12,

@@ -27,6 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
+
+# Observability: a "stall" is one disabled-rule attempt (RuleAbort) -- the
+# executable analogue of a pipeline stage waiting on a FIFO/scoreboard.
+_STALLS = obs.counter("kami.stalls")
+_STEPS = obs.counter("kami.rules_fired")
+_EXT_CALLS = obs.counter("kami.external_calls")
+
 
 @dataclass(frozen=True)
 class MethodCall:
@@ -149,6 +157,7 @@ class System:
         try:
             fn(module)
         except RuleAbort:
+            _STALLS.inc()
             if self.snapshot_rollback:
                 for m, snap in snapshots:
                     m.regs = snap
@@ -160,6 +169,11 @@ class System:
                     "guards must precede effects" % name)
             return None
         label = StepLabel(name, tuple(self._pending_calls))
+        _STEPS.inc()
+        if label.calls:
+            _EXT_CALLS.inc(len(label.calls))
+        if obs.ENABLED:
+            obs.counter("kami.rule." + name).inc()
         self._pending_calls = []
         return label
 
@@ -199,22 +213,25 @@ class System:
     def run_cycles(self, max_cycles: int,
                    stop: Optional[Callable[["System"], bool]] = None) -> int:
         """Run whole cycles; returns the number of cycles executed."""
-        for i in range(max_cycles):
-            if stop is not None and stop(self):
-                return i
-            if self.cycle() == 0:
-                return i
-        return max_cycles
+        with obs.span("kami.run_cycles", cat="kami",
+                      args={"max_cycles": max_cycles}):
+            for i in range(max_cycles):
+                if stop is not None and stop(self):
+                    return i
+                if self.cycle() == 0:
+                    return i
+            return max_cycles
 
     def run(self, max_steps: int,
             stop: Optional[Callable[["System"], bool]] = None) -> int:
         """Step until quiescent, ``stop`` holds, or the budget runs out."""
-        for i in range(max_steps):
-            if stop is not None and stop(self):
-                return i
-            if self.step() is None:
-                return i
-        return max_steps
+        with obs.span("kami.run", cat="kami", args={"max_steps": max_steps}):
+            for i in range(max_steps):
+                if stop is not None and stop(self):
+                    return i
+                if self.step() is None:
+                    return i
+            return max_steps
 
     def mmio_trace(self) -> List[Tuple[str, int, int]]:
         """Project the label trace onto MMIO triples (paper §5.9's

@@ -23,7 +23,15 @@ from typing import Optional
 
 from .decexec import DecodedInstr, decode_signals, exec_instr, load_result
 from .framework import Fifo, Module, RuleAbort
+from .. import obs
 from ..riscv.insts import InvalidInstruction
+
+# Observability: mispredict recoveries (epoch flips) and the wrong-path
+# instructions they squash -- the pipeline-health counters surfaced by
+# `python -m repro stats`.
+_FLUSHES = obs.counter("kami.pipeline_flushes")
+_SQUASHES = obs.counter("kami.squashed_instructions")
+_RETIRED = obs.counter("kami.instructions_retired")
 
 
 @dataclass
@@ -103,6 +111,7 @@ def make_pipelined_processor(reset_pc: int = 0, icache_words: int = 4096,
         entry: F2D = f2d.first()
         if entry.epoch != m.regs["epoch"]:
             f2d.deq()  # squashed in flight: drop silently
+            _SQUASHES.inc()
             return
         try:
             dec = decode_signals(entry.raw)
@@ -131,6 +140,7 @@ def make_pipelined_processor(reset_pc: int = 0, icache_words: int = 4096,
         sb = m.regs["scoreboard"]
         if entry.epoch != m.regs["epoch"]:
             d2e.deq()
+            _SQUASHES.inc()
             if dec.writes_rd and dec.instr.rd != 0:
                 sb[dec.instr.rd] = sb.get(dec.instr.rd, 0) - 1
             return
@@ -159,6 +169,7 @@ def make_pipelined_processor(reset_pc: int = 0, icache_words: int = 4096,
             m.sys.call("memWrite", res.mem_addr & 0xFFFFFFFC, data, byteen)
         if res.next_pc != entry.pred:
             # Mispredict: flip the epoch, redirect fetch, train the BTB.
+            _FLUSHES.inc()
             m.regs["epoch"] ^= 1
             m.regs["pc"] = res.next_pc
             if btb_enabled:
@@ -172,6 +183,7 @@ def make_pipelined_processor(reset_pc: int = 0, icache_words: int = 4096,
 
     def stage_writeback(m: Module) -> None:
         entry: E2W = e2w.deq()
+        _RETIRED.inc()
         if entry.rd is not None:
             if entry.rd != 0 and entry.value is not None:
                 m.regs["rf"][entry.rd] = entry.value

@@ -16,10 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from .. import obs
 from .framework import ExternalWorld, System
 from .memory import make_memory_module
 from .pipeline_proc import make_pipelined_processor
 from .spec_proc import make_spec_processor
+
+_REFINEMENT_CHECKS = obs.counter("kami.refinement_checks")
+_REFINEMENT_EVENTS = obs.counter("kami.refinement_events_compared")
 
 
 @dataclass
@@ -65,19 +69,25 @@ def check_refinement(image: bytes, make_world: Callable[[], ExternalWorld],
     ``make_world`` must construct a fresh, deterministic external world
     each call (both processors get their own copy).
     """
-    impl = build_pipelined_system(image, make_world(), ram_words=ram_words,
-                                  icache_words=icache_words)
-    impl.run(impl_steps)
-    impl_trace = impl.mmio_trace()
+    _REFINEMENT_CHECKS.inc()
+    with obs.span("kami.refinement_check", cat="kami",
+                  args={"impl_steps": impl_steps}):
+        impl = build_pipelined_system(image, make_world(),
+                                      ram_words=ram_words,
+                                      icache_words=icache_words)
+        impl.run(impl_steps)
+        impl_trace = impl.mmio_trace()
 
-    spec = build_spec_system(image, make_world(), ram_words=ram_words)
-    budget = spec_step_budget if spec_step_budget is not None else impl_steps
+        spec = build_spec_system(image, make_world(), ram_words=ram_words)
+        budget = (spec_step_budget if spec_step_budget is not None
+                  else impl_steps)
 
-    def spec_caught_up(system: System) -> bool:
-        return len(system.mmio_trace()) >= len(impl_trace)
+        def spec_caught_up(system: System) -> bool:
+            return len(system.mmio_trace()) >= len(impl_trace)
 
-    spec.run(budget, stop=spec_caught_up)
-    spec_trace = spec.mmio_trace()
+        spec.run(budget, stop=spec_caught_up)
+        spec_trace = spec.mmio_trace()
+    _REFINEMENT_EVENTS.inc(len(impl_trace))
 
     if spec_trace[:len(impl_trace)] == impl_trace:
         return RefinementResult(True, impl_trace, spec_trace)

@@ -21,6 +21,7 @@ class BitBlaster:
         self._bool_cache: Dict[T.Term, int] = {}
         self._var_bits: Dict[str, List[int]] = {}
         self._bool_vars: Dict[str, int] = {}
+        self.cache_hits = 0
         self._true = self.solver.new_var()
         self.solver.add_clause([self._true])
 
@@ -157,6 +158,7 @@ class BitBlaster:
     def blast_bv(self, t: T.Term) -> List[int]:
         cached = self._bv_cache.get(t)
         if cached is not None:
+            self.cache_hits += 1
             return cached
         op = t.op
         width = t.width
@@ -240,6 +242,7 @@ class BitBlaster:
     def blast_bool(self, t: T.Term) -> int:
         cached = self._bool_cache.get(t)
         if cached is not None:
+            self.cache_hits += 1
             return cached
         op = t.op
         if op == "const":

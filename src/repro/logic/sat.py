@@ -34,6 +34,12 @@ class Solver:
         self._activity: Dict[int, float] = {}
         self._var_inc = 1.0
         self._unsat = False
+        # Search statistics (read by repro.obs via the portfolio solver).
+        self.decisions = 0
+        self.propagations = 0
+        self.conflicts = 0
+        self.restarts = 0
+        self.learned = 0
 
     # -- construction -------------------------------------------------------
 
@@ -93,9 +99,8 @@ class Solver:
 
     def _propagate(self) -> Optional[int]:
         """Unit propagation; returns the index of a conflicting clause."""
-        head = 0
         # continue from trail position of earliest unpropagated literal
-        head = self._prop_head
+        head = start = self._prop_head
         while head < len(self._trail):
             lit = self._trail[head]
             head += 1
@@ -130,10 +135,12 @@ class Solver:
                     new_watchers.extend(watchers[i:])
                     self._watches[lit] = new_watchers
                     self._prop_head = len(self._trail)
+                    self.propagations += head - start
                     return ci
                 self._enqueue(first, ci)
             self._watches[lit] = new_watchers
         self._prop_head = head
+        self.propagations += head - start
         return None
 
     # -- conflict analysis ---------------------------------------------------
@@ -233,6 +240,7 @@ class Solver:
             conflict = self._propagate()
             if conflict is not None:
                 conflicts += 1
+                self.conflicts += 1
                 conflicts_since_restart += 1
                 if max_conflicts is not None and conflicts > max_conflicts:
                     raise BudgetExceeded(conflicts)
@@ -241,6 +249,7 @@ class Solver:
                 learned, back_level = self._analyze(conflict)
                 self._backtrack(back_level)
                 self.clauses.append(learned)
+                self.learned += 1
                 ci = len(self.clauses) - 1
                 if len(learned) > 1:
                     for lit in learned[:2]:
@@ -250,6 +259,7 @@ class Solver:
                 if conflicts_since_restart >= restart_limit:
                     self._backtrack(0)
                     restart_index += 1
+                    self.restarts += 1
                     restart_limit = luby_unit * _luby(restart_index)
                     conflicts_since_restart = 0
             else:
@@ -257,6 +267,7 @@ class Solver:
                 if decision is None:
                     return SATISFIABLE
                 self._trail_lim.append(len(self._trail))
+                self.decisions += 1
                 self._enqueue(decision, None)
 
     def model(self) -> Dict[int, bool]:

@@ -15,9 +15,10 @@ reports an unchecked countermodel).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from . import terms as T
+from .. import obs
 from .bitblast import BitBlaster
 from .intervals import decide_bool
 from .sat import SATISFIABLE, BudgetExceeded
@@ -38,13 +39,73 @@ class SolverTimeout(Exception):
 
 
 # Decision-tier statistics for the solver-portfolio ablation: how many
-# validity queries each tier settled (reset with `reset_stats`).
-STATS = {"structural": 0, "interval": 0, "sat": 0}
+# validity queries each tier settled. These live in the observability
+# registry (`repro.obs`); the counters are pre-bound so the per-query cost
+# is one attribute increment.
+_TIERS = ("structural", "interval", "sat")
+_TIER_COUNTERS = {tier: obs.counter("solver.tier." + tier) for tier in _TIERS}
+_QUERIES = obs.counter("solver.queries")
+_SAT_DECISIONS = obs.counter("sat.decisions")
+_SAT_PROPAGATIONS = obs.counter("sat.propagations")
+_SAT_CONFLICTS = obs.counter("sat.conflicts")
+_SAT_RESTARTS = obs.counter("sat.restarts")
+_SAT_LEARNED = obs.counter("sat.learned_clauses")
+_CNF_VARS = obs.counter("bitblast.cnf_vars")
+_CNF_CLAUSES = obs.counter("bitblast.cnf_clauses")
+_CNF_CACHE_HITS = obs.counter("bitblast.cache_hits")
+
+
+class _TierStatsView:
+    """Deprecated read-through alias for the old ``STATS`` dict.
+
+    Kept so existing callers (`benchmarks/bench_ablations.py`) keep
+    working: behaves like a mapping of tier name -> settled-query count,
+    backed by the `repro.obs` registry. New code should read
+    ``obs.REGISTRY`` directly."""
+
+    def __getitem__(self, key: str) -> int:
+        return _TIER_COUNTERS[key].value
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_TIERS)
+
+    def __len__(self) -> int:
+        return len(_TIERS)
+
+    def keys(self):
+        return _TIERS
+
+    def values(self):
+        return [_TIER_COUNTERS[t].value for t in _TIERS]
+
+    def items(self):
+        return [(t, _TIER_COUNTERS[t].value) for t in _TIERS]
+
+    def __repr__(self) -> str:
+        return repr(dict(self.items()))
+
+
+STATS = _TierStatsView()
 
 
 def reset_stats() -> None:
-    for key in STATS:
-        STATS[key] = 0
+    """Deprecated: zero the tier counters (alias for a registry reset of
+    the ``solver.tier.*`` counters)."""
+    for tier_counter in _TIER_COUNTERS.values():
+        tier_counter.reset()
+
+
+def _flush_sat_stats(blaster: BitBlaster) -> None:
+    """Batch one query's SAT search statistics into the registry."""
+    solver = blaster.solver
+    _SAT_DECISIONS.inc(solver.decisions)
+    _SAT_PROPAGATIONS.inc(solver.propagations)
+    _SAT_CONFLICTS.inc(solver.conflicts)
+    _SAT_RESTARTS.inc(solver.restarts)
+    _SAT_LEARNED.inc(solver.learned)
+    _CNF_VARS.inc(solver.num_vars)
+    _CNF_CLAUSES.inc(len(solver.clauses) - solver.learned)
+    _CNF_CACHE_HITS.inc(blaster.cache_hits)
 
 
 class Result:
@@ -73,33 +134,45 @@ def check_valid(goal: T.Term, hypotheses: Iterable[T.Term] = (),
     assignment of ``hypotheses & ~goal`` (checked by evaluation).
     """
     hyps: List[T.Term] = [h for h in hypotheses]
-    formula = T.and_(*(hyps + [T.not_(goal)]))
-    if formula not in (T.TRUE, T.FALSE):
-        formula = simplify(formula)
-    if formula is T.FALSE:
-        STATS["structural"] += 1
-        return Result(True)
-    if formula is T.TRUE:
-        STATS["structural"] += 1
-        return Result(False, _arbitrary_model(formula, goal, hyps))
-    decided = decide_bool(formula)
-    if decided is False:
-        STATS["interval"] += 1
-        return Result(True)
-    STATS["sat"] += 1
-    blaster = BitBlaster()
-    blaster.assert_term(formula)
-    try:
-        outcome = blaster.solver.solve(max_conflicts=max_conflicts)
-    except BudgetExceeded as exc:
-        raise SolverTimeout("SAT budget exceeded (%s conflicts)" % exc) from exc
-    if outcome != SATISFIABLE:
-        return Result(True)
-    model = blaster.extract_model(blaster.solver.model())
-    _complete_model(model, goal, hyps)
-    # Sanity: the countermodel must actually falsify the implication.
-    assert T.evaluate(formula, model), "bit-blaster returned a bogus model"
-    return Result(False, model)
+    _QUERIES.inc()
+    with obs.span("solver.check_valid", cat="solver") as sp:
+        formula = T.and_(*(hyps + [T.not_(goal)]))
+        if formula not in (T.TRUE, T.FALSE):
+            formula = simplify(formula)
+        if formula is T.FALSE:
+            _TIER_COUNTERS["structural"].inc()
+            sp.set("tier", "structural")
+            return Result(True)
+        if formula is T.TRUE:
+            _TIER_COUNTERS["structural"].inc()
+            sp.set("tier", "structural")
+            return Result(False, _arbitrary_model(formula, goal, hyps))
+        decided = decide_bool(formula)
+        if decided is False:
+            _TIER_COUNTERS["interval"].inc()
+            sp.set("tier", "interval")
+            return Result(True)
+        _TIER_COUNTERS["sat"].inc()
+        sp.set("tier", "sat")
+        blaster = BitBlaster()
+        with obs.span("solver.bitblast", cat="solver"):
+            blaster.assert_term(formula)
+        try:
+            with obs.span("solver.sat", cat="solver"):
+                outcome = blaster.solver.solve(max_conflicts=max_conflicts)
+        except BudgetExceeded as exc:
+            _flush_sat_stats(blaster)
+            raise SolverTimeout("SAT budget exceeded (%s conflicts)"
+                                % exc) from exc
+        _flush_sat_stats(blaster)
+        sp.set("conflicts", blaster.solver.conflicts)
+        if outcome != SATISFIABLE:
+            return Result(True)
+        model = blaster.extract_model(blaster.solver.model())
+        _complete_model(model, goal, hyps)
+        # Sanity: the countermodel must actually falsify the implication.
+        assert T.evaluate(formula, model), "bit-blaster returned a bogus model"
+        return Result(False, model)
 
 
 def prove(goal: T.Term, hypotheses: Iterable[T.Term] = (),

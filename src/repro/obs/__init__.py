@@ -1,0 +1,136 @@
+"""Unified observability for the verification stack.
+
+One place to see where time and work go, across all layers:
+
+* **metrics** (`repro.obs.metrics`): a process-wide registry of counters,
+  gauges and histograms. Coarse counters (solver-tier outcomes, VCs
+  proved, instructions retired, MMIO events, pipeline stalls) are always
+  collected -- they are batched at natural boundaries (end of a solver
+  query, end of a `run` call) so the per-event cost is a local integer
+  increment at most.
+* **tracing** (`repro.obs.tracing`): hierarchical spans exported as
+  Chrome-trace-format JSONL for ``chrome://tracing`` / Perfetto.
+* **profiling hooks**: the `timed` decorator, a per-call histogram + span.
+
+Fine-grained instrumentation (spans, per-opcode execution counts,
+per-rule firing counts) is **off by default**, gated by the module-level
+`ENABLED` flag: hot paths check ``obs.ENABLED`` once per batch and the
+disabled branch allocates nothing (spans come from a shared null
+singleton, no closures are created).
+
+Usage::
+
+    from repro import obs
+    obs.enable()                      # turn on spans + fine-grained counts
+    ... run a workload ...
+    print(obs.REGISTRY.render())      # the `python -m repro stats` view
+    obs.export_trace("trace.jsonl")   # open in Perfetto
+
+CLI surface: ``python -m repro stats`` and ``--trace-out FILE.jsonl`` on
+``verify`` / ``end2end`` / ``bench``.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Dict, Optional
+
+from .metrics import Counter, Gauge, Histogram, Registry, REGISTRY
+from .tracing import NULL_SPAN, Span, Tracer, load_jsonl
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Registry", "REGISTRY",
+    "Tracer", "NULL_SPAN", "load_jsonl",
+    "ENABLED", "enable", "disable", "enabled", "reset",
+    "counter", "gauge", "histogram",
+    "tracer", "span", "instant", "export_trace", "timed",
+]
+
+#: Master switch for fine-grained instrumentation. Instrumented modules
+#: read this as ``obs.ENABLED`` (attribute access, so rebinding is seen).
+ENABLED = False
+
+_TRACER: Optional[Tracer] = None
+
+# Registry conveniences (get-or-create on the default registry).
+counter = REGISTRY.counter
+gauge = REGISTRY.gauge
+histogram = REGISTRY.histogram
+
+
+def enable(trace: bool = True) -> None:
+    """Turn on fine-grained instrumentation; with ``trace``, start a
+    fresh tracer collecting spans."""
+    global ENABLED, _TRACER
+    ENABLED = True
+    if trace:
+        _TRACER = Tracer()
+
+
+def disable() -> None:
+    """Turn fine-grained instrumentation off (the default state).
+
+    The tracer (and its collected events) is dropped; coarse counters keep
+    accumulating -- use `reset` to zero them."""
+    global ENABLED, _TRACER
+    ENABLED = False
+    _TRACER = None
+
+
+def enabled() -> bool:
+    return ENABLED
+
+
+def reset() -> None:
+    """Zero all metrics and restart the tracer if one is active."""
+    global _TRACER
+    REGISTRY.reset()
+    if _TRACER is not None:
+        _TRACER = Tracer()
+
+
+def tracer() -> Optional[Tracer]:
+    return _TRACER
+
+
+def span(name: str, cat: str = "repro", args: Optional[Dict] = None):
+    """A span context manager; the shared null span when tracing is off."""
+    if _TRACER is None:
+        return NULL_SPAN
+    return _TRACER.span(name, cat, args)
+
+
+def instant(name: str, cat: str = "repro",
+            args: Optional[Dict] = None) -> None:
+    if _TRACER is not None:
+        _TRACER.instant(name, cat, args)
+
+
+def export_trace(path: str) -> int:
+    """Write the active tracer's events as Chrome-trace JSONL; returns the
+    event count (0 when tracing was never enabled)."""
+    if _TRACER is None:
+        return 0
+    return _TRACER.export_jsonl(path)
+
+
+def timed(name: str, cat: str = "repro"):
+    """Profiling hook: when observability is enabled, time each call of
+    the decorated function into histogram ``<name>.seconds`` and emit a
+    span; when disabled, the only cost is one flag check."""
+    def decorate(fn):
+        hist = histogram(name + ".seconds")
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not ENABLED:
+                return fn(*args, **kwargs)
+            t0 = time.perf_counter()
+            with span(name, cat):
+                result = fn(*args, **kwargs)
+            hist.record(time.perf_counter() - t0)
+            return result
+
+        return wrapper
+    return decorate

@@ -1,0 +1,186 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the numeric half of the observability layer (`repro.obs`):
+every layer of the stack reports what it *did* (SAT decisions, VCs proved,
+instructions retired, pipeline stalls, ...) into one process-wide
+`Registry`, surfaced by ``python -m repro stats`` and exported alongside
+benchmark records.
+
+Design constraints (see docs/observability.md):
+
+* **cheap**: a counter increment is one attribute add on a pre-bound
+  object; instrumented code holds module-level references to its metrics
+  so the hot path never does a registry lookup;
+* **reset-in-place**: `Registry.reset` zeroes metrics without replacing
+  the objects, so pre-bound references never go stale;
+* **no dependencies**: plain dicts and ints, importable from anywhere in
+  the stack without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return "Counter(%s=%r)" % (self.name, self.value)
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def add(self, delta: Number) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return "Gauge(%s=%r)" % (self.name, self.value)
+
+
+class Histogram:
+    """A distribution summary: count/sum/min/max plus power-of-two buckets.
+
+    ``buckets[e]`` counts samples whose value is in ``(2**(e-1), 2**e]``
+    (sample 0 and negatives land in bucket 0). Exact enough for latency
+    and size distributions without storing samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self.buckets: Dict[int, int] = {}
+
+    def record(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0:
+            exponent = 0
+        else:
+            exponent = max(0, math.ceil(math.log2(value)))
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self.buckets = {}
+
+    def __repr__(self) -> str:
+        return ("Histogram(%s: n=%d mean=%g min=%r max=%r)"
+                % (self.name, self.count, self.mean, self.min, self.max))
+
+
+class Registry:
+    """A named collection of metrics with get-or-create accessors."""
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError("metric %r already registered as %s"
+                            % (name, type(metric).__name__))
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def reset(self) -> None:
+        """Zero every metric in place (pre-bound references stay valid)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def snapshot(self, prefix: str = "") -> Dict[str, object]:
+        """Flat name -> value dict (histograms become summary sub-dicts)."""
+        out: Dict[str, object] = {}
+        for name in sorted(self._metrics):
+            if not name.startswith(prefix):
+                continue
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {"count": metric.count, "sum": metric.total,
+                             "mean": metric.mean, "min": metric.min,
+                             "max": metric.max}
+            else:
+                out[name] = metric.value
+        return out
+
+    def render(self, prefix: str = "", skip_zero: bool = True) -> str:
+        """A human-readable table of the current metric values."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            if not name.startswith(prefix):
+                continue
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                if skip_zero and metric.count == 0:
+                    continue
+                lines.append("%-44s n=%-8d mean=%-12.6g min=%-10g max=%g"
+                             % (name, metric.count, metric.mean,
+                                metric.min or 0, metric.max or 0))
+            else:
+                if skip_zero and not metric.value:
+                    continue
+                value = metric.value
+                if isinstance(value, float):
+                    lines.append("%-44s %.6g" % (name, value))
+                else:
+                    lines.append("%-44s %d" % (name, value))
+        return "\n".join(lines)
+
+
+#: The process-wide default registry all layers report into.
+REGISTRY = Registry()

@@ -1,0 +1,147 @@
+"""Hierarchical span tracing with Chrome-trace-format JSONL export.
+
+Spans form a tree by nesting (``with tracer.span("solve", "solver"): ...``)
+and are recorded as Chrome trace events -- ``ph: "B"``/``"E"`` duration
+pairs plus ``ph: "i"`` instants -- which both ``chrome://tracing`` and
+Perfetto understand. Export is JSONL (one JSON object per line), the
+streaming-friendly variant of the format; see docs/observability.md for
+how to open the output.
+
+The tracer is single-process/single-thread by design (the whole
+verification stack is); ``pid``/``tid`` are constant. Timestamps are
+microseconds relative to tracer creation (``time.perf_counter`` based, so
+monotonic).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Set
+
+
+class _NullSpan:
+    """The disabled-mode span: a shared, allocation-free context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+#: Shared singleton returned whenever tracing is off -- entering and
+#: exiting it allocates nothing.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; ``set`` attaches args that appear on the end event."""
+
+    __slots__ = ("tracer", "name", "cat", "args")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: Optional[Dict] = None):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def set(self, key: str, value) -> None:
+        if self.args is None:
+            self.args = {}
+        self.args[key] = value
+
+    def __enter__(self) -> "Span":
+        self.tracer.begin(self.name, self.cat, self.args)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.tracer.end(self.name, self.cat, self.args)
+        return False
+
+
+class Tracer:
+    """Collects Chrome trace events in memory; exports JSONL."""
+
+    def __init__(self):
+        self._t0 = time.perf_counter()
+        self.events: List[Dict] = []
+        self.depth = 0
+
+    def _ts(self) -> float:
+        return (time.perf_counter() - self._t0) * 1e6
+
+    def span(self, name: str, cat: str = "repro",
+             args: Optional[Dict] = None) -> Span:
+        return Span(self, name, cat, args)
+
+    def begin(self, name: str, cat: str = "repro",
+              args: Optional[Dict] = None) -> None:
+        event = {"name": name, "cat": cat, "ph": "B", "ts": self._ts(),
+                 "pid": 1, "tid": 1}
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+        self.depth += 1
+
+    def end(self, name: str, cat: str = "repro",
+            args: Optional[Dict] = None) -> None:
+        if self.depth <= 0:
+            return  # unbalanced end: drop rather than corrupt the tree
+        self.depth -= 1
+        event = {"name": name, "cat": cat, "ph": "E", "ts": self._ts(),
+                 "pid": 1, "tid": 1}
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
+    def instant(self, name: str, cat: str = "repro",
+                args: Optional[Dict] = None) -> None:
+        event = {"name": name, "cat": cat, "ph": "i", "ts": self._ts(),
+                 "pid": 1, "tid": 1, "s": "t"}
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
+    def categories(self) -> Set[str]:
+        return {e["cat"] for e in self.events}
+
+    def span_tree(self) -> List[Dict]:
+        """Reconstruct the span forest from B/E events (used by tests and
+        the JSONL validator): each node is {name, cat, children}."""
+        roots: List[Dict] = []
+        stack: List[Dict] = []
+        for event in self.events:
+            if event["ph"] == "B":
+                node = {"name": event["name"], "cat": event["cat"],
+                        "children": []}
+                (stack[-1]["children"] if stack else roots).append(node)
+                stack.append(node)
+            elif event["ph"] == "E" and stack:
+                stack.pop()
+        return roots
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON trace event per line; returns the event count."""
+        with open(path, "w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event))
+                fh.write("\n")
+        return len(self.events)
+
+
+def load_jsonl(path: str) -> List[Dict]:
+    """Parse a JSONL trace back into event dicts (validation helper)."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -11,6 +11,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from .. import obs
+
+# Every MMIO access in the whole system -- from the ISA machine, the Kami
+# processors, or the Bedrock2 interpreters -- crosses this bus, so these
+# two counters are the ground truth for MMIO event totals.
+_BUS_READS = obs.counter("platform.bus_reads")
+_BUS_WRITES = obs.counter("platform.bus_writes")
+
 # FE310-compatible memory map (section 5.1).
 GPIO_BASE = 0x10012000
 GPIO_SIZE = 0x1000
@@ -56,12 +64,19 @@ class MMIOBus:
         return any(lo <= addr < hi for lo, hi in MMIO_RANGES)
 
     def read(self, addr: int) -> int:
+        _BUS_READS.inc()
+        if obs.ENABLED:
+            obs.instant("mmio.read", cat="platform", args={"addr": addr})
         for device in self.devices:
             if device.covers(addr):
                 return device.read(addr - device.base) & 0xFFFFFFFF
         return 0
 
     def write(self, addr: int, value: int) -> None:
+        _BUS_WRITES.inc()
+        if obs.ENABLED:
+            obs.instant("mmio.write", cat="platform",
+                        args={"addr": addr, "value": value})
         for device in self.devices:
             if device.covers(addr):
                 device.write(addr - device.base, value & 0xFFFFFFFF)

@@ -19,10 +19,19 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..bedrock2 import word
 from .decode import decode
-from .insts import InvalidInstruction
+from .insts import Instr, InvalidInstruction
 from .semantics import Primitives, execute
+
+# Observability (see docs/observability.md): instructions are flushed as a
+# batch per `run` call; MMIO events are counted at trace-append time (they
+# are orders of magnitude rarer than instructions). Per-opcode counts are
+# only collected on the instrumented path (`obs.ENABLED`).
+_INSTRUCTIONS = obs.counter("riscv.instructions")
+_MMIO_LOADS = obs.counter("riscv.mmio_loads")
+_MMIO_STORES = obs.counter("riscv.mmio_stores")
 
 
 class RiscvUB(Exception):
@@ -176,6 +185,7 @@ class RiscvMachine(Primitives):
             else:
                 value = 0
             self.trace.append(("ld", addr, value))
+            _MMIO_LOADS.inc()
             return value
         raise RiscvUB("load from unowned non-MMIO address 0x%x" % addr)
 
@@ -197,6 +207,7 @@ class RiscvMachine(Primitives):
             if self.mmio_bus is not None:
                 self.mmio_bus.write(addr, value)
             self.trace.append(("st", addr, value))
+            _MMIO_STORES.inc()
             return
         raise RiscvUB("store to unowned non-MMIO address 0x%x" % addr)
 
@@ -205,8 +216,9 @@ class RiscvMachine(Primitives):
 
     # -- execution ------------------------------------------------------------
 
-    def step(self) -> None:
-        """Fetch-decode-execute one instruction."""
+    def step(self) -> Instr:
+        """Fetch-decode-execute one instruction; returns the decoded
+        instruction (used by the instrumented run loop)."""
         raw = self.load(4, self.pc, kind="fetch")
         try:
             instr = decode(raw)
@@ -215,6 +227,7 @@ class RiscvMachine(Primitives):
                           % (self.pc, exc)) from exc
         execute(instr, self)
         self.instret += 1
+        return instr
 
     def run(self, max_steps: int, until_pc: Optional[int] = None,
             stop: Optional[Callable[["RiscvMachine"], bool]] = None) -> int:
@@ -222,10 +235,45 @@ class RiscvMachine(Primitives):
 
         Stops early when the PC reaches ``until_pc`` or ``stop(self)`` holds
         (checked before each step)."""
-        for i in range(max_steps):
-            if until_pc is not None and self.pc == until_pc:
-                return i
-            if stop is not None and stop(self):
-                return i
-            self.step()
-        return max_steps
+        if obs.ENABLED:
+            return self._run_instrumented(max_steps, until_pc, stop)
+        start = self.instret
+        try:
+            for i in range(max_steps):
+                if until_pc is not None and self.pc == until_pc:
+                    return i
+                if stop is not None and stop(self):
+                    return i
+                self.step()
+            return max_steps
+        finally:
+            _INSTRUCTIONS.inc(self.instret - start)
+
+    def _run_instrumented(self, max_steps: int,
+                          until_pc: Optional[int] = None,
+                          stop: Optional[Callable[["RiscvMachine"], bool]]
+                          = None) -> int:
+        """`run` with a span and per-opcode execution counts (obs enabled)."""
+        opcounts: Dict[str, int] = {}
+        start = self.instret
+        taken = max_steps
+        with obs.span("riscv.run", cat="riscv",
+                      args={"max_steps": max_steps}) as sp:
+            try:
+                for i in range(max_steps):
+                    if until_pc is not None and self.pc == until_pc:
+                        taken = i
+                        break
+                    if stop is not None and stop(self):
+                        taken = i
+                        break
+                    instr = self.step()
+                    name = instr.name
+                    opcounts[name] = opcounts.get(name, 0) + 1
+            finally:
+                retired = self.instret - start
+                _INSTRUCTIONS.inc(retired)
+                sp.set("instructions", retired)
+                for name, n in opcounts.items():
+                    obs.counter("riscv.op." + name).inc(n)
+        return taken

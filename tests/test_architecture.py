@@ -12,7 +12,14 @@ SRC = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
 
 # Allowed dependencies between subpackages (edges of Figure 3, pointing
 # from a component to the interfaces/substrates it may use).
+#
+# ``obs`` is not a Figure 3 component: it is the cross-cutting
+# observability substrate (metrics + tracing), itself dependency-free,
+# which every layer may report into without that constituting a
+# layering edge.
+CROSS_CUTTING = {"obs"}
 ALLOWED = {
+    "obs": set(),
     "logic": set(),
     "traces": set(),
     "bedrock2": {"logic"},
@@ -62,15 +69,22 @@ def test_every_figure3_component_exists():
 @pytest.mark.parametrize("package", sorted(EXPECTED_PACKAGES))
 def test_layering_respected(package):
     imports = _subpackage_imports(package)
-    illegal = imports - ALLOWED[package]
+    illegal = imports - ALLOWED[package] - CROSS_CUTTING
     assert not illegal, ("%s depends on %s, violating Figure 3's layering"
                          % (package, sorted(illegal)))
 
 
+def test_obs_substrate_is_dependency_free():
+    # Everything may report into the observability layer, so it must not
+    # import anything back -- otherwise it would be a hidden layering edge.
+    assert _subpackage_imports("obs") == set()
+
+
 def test_logic_layer_is_self_contained():
     # The decision substrate (our 'proof assistant kernel') depends on
-    # nothing else in the system -- it is audit-minimal.
-    assert _subpackage_imports("logic") == set()
+    # nothing else in the system -- it is audit-minimal. Its only
+    # permitted import is the dependency-free observability substrate.
+    assert _subpackage_imports("logic") <= CROSS_CUTTING
 
 
 def test_trace_spec_language_is_self_contained():
