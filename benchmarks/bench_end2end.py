@@ -12,11 +12,10 @@ key observability counters (instructions retired, MMIO bus events,
 checkpoints, prefix checks).
 """
 
-import random
 import time
 
 from repro.core.end2end import run_adversarial, run_end_to_end
-from repro.platform.net import adversarial_stream, lightbulb_packet
+from repro.platform.net import lightbulb_packet
 from repro.sw.specs import good_hl_trace
 
 

@@ -9,7 +9,6 @@ simulator); the *shape* -- who wins, and roughly by how much per factor --
 is the reproduction target.
 """
 
-import pytest
 
 from repro.core.timing import factor_decomposition, measure_latency
 

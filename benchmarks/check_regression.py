@@ -1,0 +1,104 @@
+"""The CI perf-regression gate.
+
+Compares benchmark ``--json`` records (written by ``bench_end2end.py
+--json``, ``bench_verification_perf.py --json``, ``bench_incremental.py
+--json``) against the committed wall-time baselines in
+``benchmarks/baselines.json`` and exits non-zero when any result
+regressed by more than the threshold (default 25%)::
+
+    python benchmarks/check_regression.py BENCH_end2end.json ... \\
+        [--baselines benchmarks/baselines.json] [--threshold 0.25]
+
+Results faster than baseline are reported but never fail the gate (CI
+runners vary; only slowdowns are regressions). Result names present in a
+record but absent from the baselines are reported as "new" and pass --
+add them with ``--update``, which rewrites the baselines file from the
+provided records (run locally, commit the diff).
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_BASELINES = "benchmarks/baselines.json"
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_record(path):
+    with open(path) as f:
+        record = json.load(f)
+    name = record.get("benchmark")
+    results = record.get("results")
+    if not isinstance(name, str) or not isinstance(results, list):
+        raise SystemExit("%s: not a benchmark --json record" % path)
+    walls = {}
+    for result in results:
+        if isinstance(result, dict) and "wall_seconds" in result:
+            walls[result["name"]] = float(result["wall_seconds"])
+    return name, walls
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("records", nargs="+", metavar="BENCH.json",
+                        help="benchmark --json output files to check")
+    parser.add_argument("--baselines", default=DEFAULT_BASELINES,
+                        help="committed baselines file "
+                             "(default %(default)s)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional slowdown over baseline "
+                             "(default %(default)s = +25%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baselines file from the records "
+                             "instead of checking")
+    args = parser.parse_args(argv)
+
+    with open(args.baselines) as f:
+        baselines = json.load(f)
+    benchmarks = baselines.setdefault("benchmarks", {})
+
+    if args.update:
+        for path in args.records:
+            name, walls = load_record(path)
+            benchmarks[name] = {k: round(v, 2) for k, v in
+                                sorted(walls.items())}
+        with open(args.baselines, "w") as f:
+            json.dump(baselines, f, indent=2)
+            f.write("\n")
+        print("updated %s from %d record(s)"
+              % (args.baselines, len(args.records)))
+        return 0
+
+    failures = 0
+    for path in args.records:
+        name, walls = load_record(path)
+        base = benchmarks.get(name, {})
+        for result, wall in sorted(walls.items()):
+            baseline = base.get(result)
+            if baseline is None:
+                print("NEW   %s/%-28s %7.2fs (no baseline; add with "
+                      "--update)" % (name, result, wall))
+                continue
+            limit = baseline * (1.0 + args.threshold)
+            ratio = wall / baseline if baseline else float("inf")
+            if wall > limit:
+                failures += 1
+                print("FAIL  %s/%-28s %7.2fs vs baseline %.2fs "
+                      "(%.2fx > %.2fx allowed)"
+                      % (name, result, wall, baseline, ratio,
+                         1.0 + args.threshold))
+            else:
+                print("ok    %s/%-28s %7.2fs vs baseline %.2fs (%.2fx)"
+                      % (name, result, wall, baseline, ratio))
+    if failures:
+        print("%d benchmark result(s) regressed by more than %d%%"
+              % (failures, round(args.threshold * 100)))
+        return 1
+    print("no perf regressions beyond %d%%" % round(args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,17 +46,36 @@ def _obs_finish(args) -> None:
 
 
 def cmd_verify(args) -> int:
+    from . import obs
+    from .logic import solver
     from .sw.verify import verify_all, verify_doorlock, verify_drain_buggy_fails
 
     _obs_start(args)
-    run = verify_all()
+    cache = None
+    if args.cache:
+        from .logic.cache import ProofCache
+
+        cache = ProofCache(args.cache)
+    jobs = args.jobs
+    if jobs == 0:
+        from .logic.dispatch import default_jobs
+
+        jobs = default_jobs()
+    run = verify_all(jobs=jobs, cache=cache)
     print(run)
     print("door-lock application (reusing the driver contracts):")
-    print(verify_doorlock())
-    err = verify_drain_buggy_fails()
+    doorlock = verify_doorlock(jobs=jobs, cache=cache)
+    print(doorlock)
+    with solver.cached(cache):
+        err = verify_drain_buggy_fails()
     print("negative control: buggy drain fails at %s" % err.context)
+    if cache is not None:
+        print("proof cache %s: %d hits, %d misses, %d entries"
+              % (args.cache, obs.counter("cache.hits").value,
+                 obs.counter("cache.misses").value, len(cache)))
+        cache.close()
     _obs_finish(args)
-    return 0
+    return 0 if (run.ok and doorlock.ok) else 1
 
 
 def cmd_check(args) -> int:
@@ -74,9 +93,28 @@ def cmd_check(args) -> int:
 
 
 def cmd_end2end(args) -> int:
-    from .core.end2end import run_adversarial
+    from .core.end2end import run_adversarial, run_adversarial_suite
 
     _obs_start(args)
+    if args.seeds:
+        seeds = [int(s) for s in args.seeds.split(",") if s]
+        results = run_adversarial_suite(seeds, n_frames=args.frames,
+                                        processor=args.processor,
+                                        max_units=args.units,
+                                        jobs=args.jobs)
+        ok = True
+        for seed, result in zip(seeds, results):
+            ok = ok and result.ok
+            print("seed=%-6d %s  instructions=%d mmio_events=%d bulb=%r"
+                  % (seed,
+                     "in spec   " if result.ok
+                     else "VIOLATION: " + result.detail,
+                     result.instructions, len(result.trace),
+                     result.bulb_history))
+        print("%d/%d adversarial runs within goodHlTrace"
+              % (sum(1 for r in results if r.ok), len(results)))
+        _obs_finish(args)
+        return 0 if ok else 1
     result = run_adversarial(seed=args.seed, n_frames=args.frames,
                              processor=args.processor,
                              max_units=args.units)
@@ -194,10 +232,22 @@ def main(argv=None) -> int:
                             "(open in Perfetto / chrome://tracing)")
 
     p = sub.add_parser("verify", help="verify the lightbulb software")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="verify N functions in parallel worker processes "
+                        "(0 = one per core; default 1)")
+    p.add_argument("--cache", metavar="DIR", default=None,
+                   help="content-addressed proof cache directory: decided "
+                        "VCs are skipped on re-verification "
+                        "(see docs/incremental.md)")
     add_trace_out(p)
     sub.add_parser("check", help="run the integration checks")
     p = sub.add_parser("end2end", help="end-to-end theorem with fuzzing")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--seeds", metavar="S1,S2,...", default=None,
+                   help="run an adversarial sweep over many seeds "
+                        "(overrides --seed)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="parallel worker processes for --seeds sweeps")
     p.add_argument("--frames", type=int, default=10)
     p.add_argument("--units", type=int, default=600_000,
                    help="execution units (instructions or Kami steps)")

@@ -14,7 +14,7 @@ notations that elaborate to Bedrock2 syntax trees.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 # Binary operators of Bedrock2 (the paper's bopname enumeration).
 BINOPS = (

@@ -27,19 +27,12 @@ Supported reasoning, mirroring the paper's usage:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..logic import solver as S
 from ..logic import terms as T
-
-# Observability: verification-condition production counters (pre-bound;
-# see docs/observability.md). Spans per VC are emitted by `VC.prove`.
-_VCS_PROVED = obs.counter("vcgen.obligations_proved")
-_VCS_ASSUMED = obs.counter("vcgen.assumptions_made")
-_PATHS = obs.counter("vcgen.paths_explored")
-_FUNCTIONS = obs.counter("vcgen.functions_verified")
 from .ast_ import (
     Cmd,
     ELit,
@@ -59,6 +52,14 @@ from .ast_ import (
     SWhile,
 )
 
+# Observability: verification-condition production counters (pre-bound;
+# see docs/observability.md). Spans per VC are emitted by `VC.prove`.
+_VCS_PROVED = obs.counter("vcgen.obligations_proved")
+_VCS_ASSUMED = obs.counter("vcgen.assumptions_made")
+_VCS_TIMEOUT = obs.counter("vcgen.obligations_timeout")
+_PATHS = obs.counter("vcgen.paths_explored")
+_FUNCTIONS = obs.counter("vcgen.functions_verified")
+
 
 class VerificationError(Exception):
     """A side condition failed, with location context and countermodel."""
@@ -70,6 +71,12 @@ class VerificationError(Exception):
         self.model = model
         super().__init__("%s: %s%s" % (
             context, detail, ("\n  countermodel: %r" % (model,)) if model else ""))
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) into ``__init__`` and breaks; rebuild from the parts
+        # instead so the error round-trips through dispatcher workers.
+        return (VerificationError, (self.context, self.detail, self.model))
 
 
 @dataclass(frozen=True)
@@ -187,13 +194,23 @@ class SymState:
 
 class VC:
     """The verification-condition engine shared by a whole run: fresh-name
-    supply, obligation discharge, and statistics."""
+    supply, obligation discharge, and statistics.
 
-    def __init__(self, max_conflicts: int = 2_000_000):
+    ``record_timeouts`` (the default) makes a per-obligation SAT-budget
+    exhaustion a recorded ``timeout`` status in the final report instead
+    of an exception that aborts the whole run -- one stuck VC must not
+    take down a parallel batch of otherwise-decidable obligations. Pass
+    ``record_timeouts=False`` to get the old abort-on-timeout behavior.
+    """
+
+    def __init__(self, max_conflicts: int = 2_000_000,
+                 record_timeouts: bool = True):
         self._counter = itertools.count()
         self.max_conflicts = max_conflicts
+        self.record_timeouts = record_timeouts
         self.obligations_proved = 0
         self.assumptions_made = 0
+        self.timeouts: List[str] = []
 
     def fresh(self, hint: str = "v", width: int = 32) -> T.Term:
         name = "%s!%d" % (hint, next(self._counter))
@@ -204,8 +221,18 @@ class VC:
     def prove(self, state: SymState, goal: T.Term, context: str) -> None:
         """Discharge an obligation under the current path condition."""
         with obs.span("vc.prove", cat="vcgen", args={"context": context}):
-            result = S.check_valid(goal, hypotheses=state.path,
-                                   max_conflicts=self.max_conflicts)
+            try:
+                result = S.check_valid(goal, hypotheses=state.path,
+                                       max_conflicts=self.max_conflicts)
+            except S.SolverTimeout:
+                if not self.record_timeouts:
+                    raise
+                # Distinguish the budget-exceeded VC from a refuted one:
+                # it is *unknown*, recorded per obligation, and the rest
+                # of the run proceeds.
+                self.timeouts.append(context)
+                _VCS_TIMEOUT.inc()
+                return
         if not result.valid:
             raise VerificationError(context, "cannot prove %r" % (goal,),
                                     result.model)
@@ -593,28 +620,45 @@ class FunctionSpec:
 
 @dataclass
 class VerifyReport:
-    """Outcome summary of verifying one function."""
+    """Outcome summary of verifying one function.
+
+    ``timeouts`` lists the contexts of obligations whose solver budget
+    ran out: those VCs are *unknown*, not proved -- `ok` is False until
+    they are re-run with a larger budget.
+    """
 
     function: str
     paths: int
     obligations: int
+    timeouts: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.timeouts
 
     def __str__(self):
-        return ("verified %s: %d paths, %d obligations discharged"
+        base = ("verified %s: %d paths, %d obligations discharged"
                 % (self.function, self.paths, self.obligations))
+        if self.timeouts:
+            base += " (%d TIMED OUT: %s)" % (len(self.timeouts),
+                                             ", ".join(self.timeouts))
+        return base
 
 
 def verify_function(program: Program, fname: str, spec: FunctionSpec,
                     ext_spec, contracts: Optional[Dict[str, Contract]] = None,
                     unroll_limit: int = 64,
-                    max_conflicts: int = 2_000_000) -> VerifyReport:
+                    max_conflicts: int = 2_000_000,
+                    record_timeouts: bool = True) -> VerifyReport:
     """Verify ``program[fname]`` against ``spec``.
 
     Every feasible symbolic path through the body is explored; `spec.post`
-    runs at each exit. Raises `VerificationError` on any failed obligation.
+    runs at each exit. Raises `VerificationError` on any failed obligation;
+    budget-exceeded obligations are reported per VC in
+    ``VerifyReport.timeouts`` (see `VC`).
     """
     fn = program[fname]
-    vc = VC(max_conflicts=max_conflicts)
+    vc = VC(max_conflicts=max_conflicts, record_timeouts=record_timeouts)
     state = SymState()
     args = tuple(vc.fresh(p) for p in fn.params)
     state.locals = dict(zip(fn.params, args))
@@ -641,4 +685,5 @@ def verify_function(program: Program, fname: str, spec: FunctionSpec,
         sp.set("obligations", vc.obligations_proved)
     _FUNCTIONS.inc()
     _PATHS.inc(paths[0])
-    return VerifyReport(fname, paths[0], vc.obligations_proved)
+    return VerifyReport(fname, paths[0], vc.obligations_proved,
+                        tuple(vc.timeouts))

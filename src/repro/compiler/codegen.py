@@ -20,19 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..riscv import insts as I
 from .flatimp import (
-    FCall,
-    FFunction,
-    FIf,
-    FInteract,
-    FLoad,
-    FOp,
-    FProgram,
-    FSetLit,
-    FSetVar,
-    FStackalloc,
-    FStmt,
-    FStore,
-    FWhile,
+    FCall, FFunction, FIf, FInteract, FLoad, FOp, FSetLit, FSetVar,
+    FStackalloc, FStmt, FStore, FWhile,
 )
 from .regalloc import SCRATCH, is_spill, spill_slot
 

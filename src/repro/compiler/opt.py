@@ -41,7 +41,7 @@ from .flatimp import (
     stmt_vars,
 )
 from .flatten import flatten_program
-from .pipeline import CompiledProgram, _call_targets
+from .pipeline import CompiledProgram
 
 _FOLD = {
     "add": word.add, "sub": word.sub, "mul": word.mul, "mulhuu": word.mulhuu,
@@ -593,7 +593,6 @@ def compile_program_optimized(program: Program, entry: str = "main",
     """The baseline compiler: flatten, optimize, then the usual backend."""
     from .codegen import FunctionCompiler, JumpTo, Label, MMIOExtCallCompiler, resolve_labels
     from .pipeline import compute_stack_bound
-    from .regalloc import allocate_program
     from ..riscv.encode import encode_program
 
     if ext_compiler is None:

@@ -14,7 +14,7 @@ is statically sized, so the deepest call path gives a hard bound.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs

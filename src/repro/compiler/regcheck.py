@@ -23,7 +23,7 @@ Two validators:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bedrock2.semantics import ExtHandler, IOEvent, Memory
 from .flatimp import (

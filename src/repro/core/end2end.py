@@ -16,8 +16,8 @@ harness feeds malicious packet streams, which is how the security reading
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..kami.refinement import build_pipelined_system, build_spec_system
@@ -175,6 +175,30 @@ def run_adversarial(seed: int, n_frames: int = 12,
     frames = [(5 + i * spacing, f) for i, f in enumerate(stream)]
     return run_end_to_end(frames=frames, processor=processor,
                           max_units=max_units)
+
+
+def run_adversarial_suite(seeds: Sequence[int], n_frames: int = 12,
+                          processor: str = "isa",
+                          max_units: int = 600_000,
+                          jobs: int = 1) -> List[EndToEndResult]:
+    """Fuzz the theorem across many seeds, ``jobs`` runs at a time.
+
+    Each seed is an independent end-to-end execution, so the sweep is
+    farmed to the parallel dispatcher; results come back in seed order
+    (with counters merged back into this process's registry) regardless
+    of worker scheduling.
+    """
+    if jobs is None or jobs == 1 or len(seeds) <= 1:
+        return [run_adversarial(seed, n_frames=n_frames,
+                                processor=processor, max_units=max_units)
+                for seed in seeds]
+    from ..logic.dispatch import parallel_call
+
+    kwargs_list = [{"seed": seed, "n_frames": n_frames,
+                    "processor": processor, "max_units": max_units}
+                   for seed in seeds]
+    return parallel_call("repro.core.end2end:run_adversarial",
+                         kwargs_list, jobs=jobs)
 
 
 def expected_bulb_history(accepted_frames: Sequence[bytes]) -> List[int]:

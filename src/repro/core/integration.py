@@ -8,18 +8,15 @@ timed by the verification-performance benchmark (§7.2.2).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List
 
-from ..bedrock2.semantics import Memory, run_function, to_mmio_triples
+from ..bedrock2.semantics import run_function, to_mmio_triples
 from ..bedrock2.smallstep import run_function_smallstep
-from ..compiler import compile_program, run_compiled
 from ..kami.refinement import check_refinement
 from ..platform.net import lightbulb_packet
 from ..riscv.machine import RiscvMachine
 from ..sw.program import compiled_lightbulb, lightbulb_program, make_platform
-from ..sw.specs import good_hl_trace
 
 
 @dataclass

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 _REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
                                           "..", "..", ".."))

@@ -60,7 +60,7 @@ def _probe_drivers() -> str:
 
 
 def _probe_source_language() -> str:
-    from ..bedrock2 import semantics, vcgen
+    from ..bedrock2 import vcgen
     return MET if hasattr(vcgen, "verify_function") else NOT_MET
 
 

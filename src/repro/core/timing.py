@@ -23,7 +23,7 @@ knobs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..compiler import compile_program
 from ..compiler.opt import compile_program_optimized
@@ -115,7 +115,6 @@ def measure_latency(processor: str = "p4mm", compiler: str = "verified",
     # Phase 1: boot until RX is enabled, then let the loop poll twice so
     # the measurement starts from idle polling (not from boot effects).
     polls_after_enable = [0]
-    baseline_reads = [0]
 
     original_read = plat.lan.reg_read
 

@@ -16,7 +16,7 @@ from typing import Optional
 
 from ..bedrock2 import word
 from ..riscv.decode import decode
-from ..riscv.insts import Instr, InvalidInstruction
+from ..riscv.insts import Instr
 
 
 @dataclass(frozen=True)

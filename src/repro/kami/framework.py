@@ -24,7 +24,7 @@ the processors in `spec_proc`/`pipeline_proc` are built on this.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs

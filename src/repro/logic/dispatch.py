@@ -1,0 +1,295 @@
+"""Parallel discharge of independent verification work.
+
+The program logic is modular: `repro.bedrock2.vcgen` emits obligations
+per function and "re-verifying one function never revisits the others",
+so whole-function verification tasks -- and raw VC batches -- are
+embarrassingly parallel. This module farms them to a
+`multiprocessing` pool (``--jobs N`` on the CLI) and merges the results
+back **deterministically**: outputs are consumed in task-submission
+order regardless of which worker finished first, so ``--jobs 4``
+produces bit-identical reports, counterexamples, and proof-cache files
+to ``--jobs 1``.
+
+What crosses the process boundary is kept picklable by construction:
+
+* **payloads**: `Obligation` (terms pickle through the interning
+  constructor, see `terms.Term.__reduce__`), task-name strings for
+  whole-function verification, and ``module:function`` paths plus kwargs
+  for generic calls;
+* **results**: per-task `(status, model/report, counter deltas, fresh
+  cache entries, wall seconds)` tuples -- never live exceptions, which
+  do not round-trip through pickle reliably; failures are re-raised in
+  the parent, earliest submitted task first.
+
+Each task runs under a **per-task budget** (its own ``max_conflicts``
+solver allowance) and a private proof cache seeded from the parent's
+entries, so worker behavior depends only on the submitted payload --
+never on scheduling -- and new entries flow back for the parent to
+persist.
+
+A timed-out VC (`solver.SolverTimeout`, i.e. the SAT backend's
+`BudgetExceeded` for that one query) never aborts a batch: it is
+reported as a per-obligation ``timeout`` status and the remaining
+obligations proceed.
+
+Observability: ``dispatch.tasks``, ``dispatch.batches``,
+``dispatch.task_seconds`` (histogram), and per-task
+``dispatch.task`` spans in the parent trace.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import solver as S
+from . import terms as T
+from .. import obs
+from .cache import ProofCache
+
+_TASKS = obs.counter("dispatch.tasks")
+_BATCHES = obs.counter("dispatch.batches")
+_TASK_SECONDS = obs.histogram("dispatch.task_seconds")
+
+
+def default_jobs() -> int:
+    """The pool size ``--jobs 0`` resolves to: one worker per core."""
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Payloads
+
+
+@dataclass
+class Obligation:
+    """One picklable verification condition: prove ``hypotheses |= goal``
+    within a ``max_conflicts`` SAT budget."""
+
+    goal: T.Term
+    hypotheses: Tuple[T.Term, ...] = ()
+    context: str = ""
+    max_conflicts: int = 2_000_000
+
+
+@dataclass
+class ObligationResult:
+    """Outcome of one dispatched obligation.
+
+    ``status`` is ``"proved"``, ``"refuted"`` (with the countermodel in
+    ``model``), or ``"timeout"`` (the per-obligation budget ran out --
+    the rest of the batch is unaffected).
+    """
+
+    context: str
+    status: str
+    model: Optional[Dict[str, int]] = None
+
+    @property
+    def proved(self) -> bool:
+        return self.status == "proved"
+
+
+# ---------------------------------------------------------------------------
+# Worker side. Everything here must be importable at module top level so
+# the pool works under both fork and spawn start methods.
+
+_SEED_ENTRIES: List[tuple] = []
+_USE_CACHE = False
+
+
+def _pool_init(seed_entries: List[tuple], use_cache: bool) -> None:
+    global _SEED_ENTRIES, _USE_CACHE
+    _SEED_ENTRIES = seed_entries
+    _USE_CACHE = use_cache
+
+
+def _counter_values() -> Dict[str, int]:
+    snapshot: Dict[str, int] = {}
+    for name, metric in obs.REGISTRY._metrics.items():
+        if isinstance(metric, obs.Counter):
+            snapshot[name] = metric.value
+    return snapshot
+
+
+def _counter_delta(before: Dict[str, int]) -> Dict[str, int]:
+    delta: Dict[str, int] = {}
+    for name, value in _counter_values().items():
+        change = value - before.get(name, 0)
+        if change:
+            delta[name] = change
+    return delta
+
+
+class TaskEnv:
+    """Per-task worker environment: a private cache seeded from the
+    parent (so results depend only on the payload, not on which worker
+    ran which earlier task) and a counter baseline for delta reporting.
+
+    Higher layers defining their own worker functions (e.g.
+    `repro.sw.verify`'s whole-function tasks) enter this around the task
+    body and return ``(index, payload, None, error, *env.outcome())``
+    from the worker so `run_pool` can merge the bookkeeping."""
+
+    def __enter__(self):
+        self.t0 = time.perf_counter()
+        self.before = _counter_values()
+        self.cache = (ProofCache.from_entries(_SEED_ENTRIES)
+                      if _USE_CACHE else None)
+        self.previous = S.set_cache(self.cache)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        S.set_cache(self.previous)
+
+    def outcome(self) -> Tuple[Dict[str, int], List[tuple], float]:
+        fresh = self.cache.fresh_entries() if self.cache is not None else []
+        return _counter_delta(self.before), fresh, time.perf_counter() - self.t0
+
+
+def _worker_discharge(task: Tuple[int, Obligation]):
+    index, ob = task
+    with TaskEnv() as env:
+        model = None
+        try:
+            result = S.check_valid(ob.goal, ob.hypotheses,
+                                   max_conflicts=ob.max_conflicts)
+            if result.valid:
+                status = "proved"
+            else:
+                status, model = "refuted", result.model
+        except S.SolverTimeout:
+            status = "timeout"
+        counters, fresh, wall = env.outcome()
+    return index, status, model, None, counters, fresh, wall
+
+
+def _worker_call(task: Tuple[int, str, dict]):
+    index, func_path, kwargs = task
+    module_name, _, attr = func_path.partition(":")
+    fn = getattr(importlib.import_module(module_name), attr)
+    with TaskEnv() as env:
+        result = None
+        error = None
+        try:
+            result = fn(**kwargs)
+        except Exception as err:  # surfaced (re-raised) in the parent
+            error = (type(err).__name__, func_path, str(err), None)
+        counters, fresh, wall = env.outcome()
+    return index, result, None, error, counters, fresh, wall
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+
+
+def _merge_counters(delta: Dict[str, int]) -> None:
+    # ``cache.stores`` is recounted by the parent when it absorbs the
+    # worker's fresh entries; merging the worker's own count would double
+    # every store.
+    for name, value in delta.items():
+        if name != "cache.stores":
+            obs.counter(name).inc(value)
+
+
+def run_pool(worker: Callable, tasks: List[tuple], jobs: int,
+             cache: Optional[ProofCache], label: str) -> List[tuple]:
+    """Run ``tasks`` on a pool and return raw worker tuples **in
+    submission order**, with counters/cache entries merged into this
+    process. Spans and histograms record per-task wall time."""
+    _BATCHES.inc()
+    seed = cache.seed_entries() if cache is not None else []
+    ctx = multiprocessing.get_context()
+    pool = ctx.Pool(processes=max(1, min(jobs, len(tasks))),
+                    initializer=_pool_init,
+                    initargs=(seed, cache is not None))
+    try:
+        with obs.span("dispatch.batch", cat="dispatch",
+                      args={"label": label, "jobs": jobs,
+                            "tasks": len(tasks)}):
+            raw = pool.map(worker, tasks, chunksize=1)
+    finally:
+        pool.close()
+        pool.join()
+    raw.sort(key=lambda item: item[0])
+    for item in raw:
+        _, _, _, _, counters, fresh, wall = item
+        _TASKS.inc()
+        _TASK_SECONDS.record(wall)
+        obs.instant("dispatch.task", cat="dispatch",
+                    args={"label": label, "seconds": wall})
+        _merge_counters(counters)
+        if cache is not None and fresh:
+            cache.absorb(fresh)
+    return raw
+
+
+def discharge_batch(obligations: Sequence[Obligation],
+                    jobs: Optional[int] = None,
+                    cache: Optional[ProofCache] = None
+                    ) -> List[ObligationResult]:
+    """Decide a batch of independent VCs, ``jobs`` at a time.
+
+    Results come back in input order. One obligation timing out (or
+    being refuted) never aborts the others.
+    """
+    jobs = default_jobs() if not jobs else jobs
+    if jobs <= 1 or len(obligations) <= 1:
+        return [_sequential_discharge(ob, cache) for ob in obligations]
+    tasks = [(i, ob) for i, ob in enumerate(obligations)]
+    raw = run_pool(_worker_discharge, tasks, jobs, cache, "discharge")
+    return [ObligationResult(obligations[i].context, status, model)
+            for i, status, model, _, _, _, _ in raw]
+
+
+def _sequential_discharge(ob: Obligation,
+                          cache: Optional[ProofCache]) -> ObligationResult:
+    previous = S.set_cache(cache) if cache is not None else None
+    try:
+        try:
+            result = S.check_valid(ob.goal, ob.hypotheses,
+                                   max_conflicts=ob.max_conflicts)
+        except S.SolverTimeout:
+            return ObligationResult(ob.context, "timeout")
+        if result.valid:
+            return ObligationResult(ob.context, "proved")
+        return ObligationResult(ob.context, "refuted", result.model)
+    finally:
+        if cache is not None:
+            S.set_cache(previous)
+
+
+class DispatchError(Exception):
+    """A dispatched task failed; carries the worker's (picklable) error
+    description for the earliest-submitted failing task."""
+
+    def __init__(self, kind: str, context: str, detail: str,
+                 model: Optional[Dict[str, int]] = None):
+        self.kind = kind
+        self.context = context
+        self.detail = detail
+        self.model = model
+        super().__init__("%s in %s: %s" % (kind, context, detail))
+
+
+def parallel_call(func_path: str, kwargs_list: Sequence[dict],
+                  jobs: Optional[int] = None) -> List[Any]:
+    """Generic fan-out: call ``module:function`` once per kwargs dict and
+    return the (picklable) results in input order."""
+    jobs = default_jobs() if not jobs else jobs
+    if jobs <= 1 or len(kwargs_list) <= 1:
+        module_name, _, attr = func_path.partition(":")
+        fn = getattr(importlib.import_module(module_name), attr)
+        return [fn(**kwargs) for kwargs in kwargs_list]
+    tasks = [(i, func_path, kwargs) for i, kwargs in enumerate(kwargs_list)]
+    raw = run_pool(_worker_call, tasks, jobs, None, "call")
+    results = []
+    for index, result, _, error, _, _, _ in raw:
+        if error is not None:
+            raise DispatchError(*error)
+        results.append(result)
+    return results

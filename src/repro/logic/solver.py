@@ -15,6 +15,7 @@ reports an unchecked countermodel).
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from . import terms as T
@@ -35,7 +36,42 @@ class ProofFailure(Exception):
 
 
 class SolverTimeout(Exception):
-    """The SAT backend exceeded its conflict budget."""
+    """The SAT backend exceeded its conflict budget.
+
+    Wraps `repro.logic.sat.BudgetExceeded` per *query*, so callers that
+    batch many obligations (the parallel dispatcher, `vcgen.VC.prove`)
+    can mark the one timed-out VC as ``timeout`` and keep going instead
+    of aborting the whole batch.
+    """
+
+
+# The process-wide proof cache consulted by `check_valid` (see
+# `repro.logic.cache`). Installed via `set_cache`/`cached`; `None` means
+# every query is decided from scratch.
+_ACTIVE_CACHE = None
+
+
+def set_cache(cache):
+    """Install ``cache`` (a `repro.logic.cache.ProofCache` or None) as the
+    cache consulted by every `check_valid` query; returns the previous one."""
+    global _ACTIVE_CACHE
+    previous = _ACTIVE_CACHE
+    _ACTIVE_CACHE = cache
+    return previous
+
+
+def get_cache():
+    return _ACTIVE_CACHE
+
+
+@contextlib.contextmanager
+def cached(cache):
+    """Context manager: run a workload with ``cache`` installed."""
+    previous = set_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_cache(previous)
 
 
 # Decision-tier statistics for the solver-portfolio ablation: how many
@@ -126,53 +162,108 @@ class Result:
         return "Result(invalid, model=%r)" % (self.model,)
 
 
+def _replay_cached(entry, varmap: Dict[str, str], formula: T.Term,
+                   goal: T.Term, hyps: List[T.Term]) -> Optional[Result]:
+    """Turn a cache entry back into a `Result`, or None when the entry is
+    poisoned (a cached countermodel that does not falsify the formula)."""
+    if entry.valid:
+        return Result(True)
+    inverse = {canon: orig for orig, canon in varmap.items()}
+    model: Dict[str, int] = {}
+    for canon, value in (entry.model or {}).items():
+        orig = inverse.get(canon)
+        if orig is not None:
+            model[orig] = value
+    _complete_model(model, goal, hyps)
+    try:
+        falsifies = T.evaluate(formula, model)
+    except (KeyError, ValueError, TypeError):
+        falsifies = False
+    if not falsifies:
+        return None
+    return Result(False, model)
+
+
 def check_valid(goal: T.Term, hypotheses: Iterable[T.Term] = (),
                 max_conflicts: int = 2_000_000) -> Result:
     """Decide whether ``hypotheses |= goal``.
 
     Returns a `Result`; when invalid, ``result.model`` is a satisfying
     assignment of ``hypotheses & ~goal`` (checked by evaluation).
+
+    When a proof cache is installed (`set_cache`), the formula is
+    content-addressed first and decided results are recorded; cache hits
+    skip the decision procedure entirely.
     """
     hyps: List[T.Term] = [h for h in hypotheses]
     _QUERIES.inc()
     with obs.span("solver.check_valid", cat="solver") as sp:
         formula = T.and_(*(hyps + [T.not_(goal)]))
-        if formula not in (T.TRUE, T.FALSE):
-            formula = simplify(formula)
-        if formula is T.FALSE:
-            _TIER_COUNTERS["structural"].inc()
-            sp.set("tier", "structural")
-            return Result(True)
-        if formula is T.TRUE:
-            _TIER_COUNTERS["structural"].inc()
-            sp.set("tier", "structural")
-            return Result(False, _arbitrary_model(formula, goal, hyps))
-        decided = decide_bool(formula)
-        if decided is False:
-            _TIER_COUNTERS["interval"].inc()
-            sp.set("tier", "interval")
-            return Result(True)
-        _TIER_COUNTERS["sat"].inc()
-        sp.set("tier", "sat")
-        blaster = BitBlaster()
-        with obs.span("solver.bitblast", cat="solver"):
-            blaster.assert_term(formula)
-        try:
-            with obs.span("solver.sat", cat="solver"):
-                outcome = blaster.solver.solve(max_conflicts=max_conflicts)
-        except BudgetExceeded as exc:
-            _flush_sat_stats(blaster)
-            raise SolverTimeout("SAT budget exceeded (%s conflicts)"
-                                % exc) from exc
+        cache = _ACTIVE_CACHE
+        digest = varmap = None
+        if cache is not None:
+            from . import cache as C
+
+            digest, varmap = C.fingerprint(formula)
+            entry = cache.lookup(digest)
+            if entry is not None:
+                result = _replay_cached(entry, varmap, formula, goal, hyps)
+                if result is not None:
+                    C.HITS.inc()
+                    sp.set("tier", "cache")
+                    return result
+                cache.poison(digest)
+            C.MISSES.inc()
+        result = _decide(formula, goal, hyps, max_conflicts, sp)
+        if cache is not None:
+            canonical = None
+            if result.model is not None:
+                canonical = {varmap[name]: value
+                             for name, value in result.model.items()
+                             if name in varmap}
+            cache.store(digest, result.valid, canonical)
+        return result
+
+
+def _decide(formula: T.Term, goal: T.Term, hyps: List[T.Term],
+            max_conflicts: int, sp) -> Result:
+    """The three-tier decision portfolio (structural, interval, SAT)."""
+    if formula not in (T.TRUE, T.FALSE):
+        formula = simplify(formula)
+    if formula is T.FALSE:
+        _TIER_COUNTERS["structural"].inc()
+        sp.set("tier", "structural")
+        return Result(True)
+    if formula is T.TRUE:
+        _TIER_COUNTERS["structural"].inc()
+        sp.set("tier", "structural")
+        return Result(False, _arbitrary_model(formula, goal, hyps))
+    decided = decide_bool(formula)
+    if decided is False:
+        _TIER_COUNTERS["interval"].inc()
+        sp.set("tier", "interval")
+        return Result(True)
+    _TIER_COUNTERS["sat"].inc()
+    sp.set("tier", "sat")
+    blaster = BitBlaster()
+    with obs.span("solver.bitblast", cat="solver"):
+        blaster.assert_term(formula)
+    try:
+        with obs.span("solver.sat", cat="solver"):
+            outcome = blaster.solver.solve(max_conflicts=max_conflicts)
+    except BudgetExceeded as exc:
         _flush_sat_stats(blaster)
-        sp.set("conflicts", blaster.solver.conflicts)
-        if outcome != SATISFIABLE:
-            return Result(True)
-        model = blaster.extract_model(blaster.solver.model())
-        _complete_model(model, goal, hyps)
-        # Sanity: the countermodel must actually falsify the implication.
-        assert T.evaluate(formula, model), "bit-blaster returned a bogus model"
-        return Result(False, model)
+        raise SolverTimeout("SAT budget exceeded (%s conflicts)"
+                            % exc) from exc
+    _flush_sat_stats(blaster)
+    sp.set("conflicts", blaster.solver.conflicts)
+    if outcome != SATISFIABLE:
+        return Result(True)
+    model = blaster.extract_model(blaster.solver.model())
+    _complete_model(model, goal, hyps)
+    # Sanity: the countermodel must actually falsify the implication.
+    assert T.evaluate(formula, model), "bit-blaster returned a bogus model"
+    return Result(False, model)
 
 
 def prove(goal: T.Term, hypotheses: Iterable[T.Term] = (),

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple, Union
 
+from zlib import crc32
+
 Sort = Union[str, Tuple[str, int]]
 
 BOOL: Sort = "bool"
@@ -35,6 +37,44 @@ BV8 = bv_sort(8)
 _INTERN: Dict[tuple, "Term"] = {}
 
 
+def _det_hash(op: str, args: Tuple["Term", ...], attr, sort: Sort) -> int:
+    """A deterministic structural hash, stable across processes and runs.
+
+    ``hash()``/``id()`` vary with interpreter address layout and string-hash
+    randomization, so anything derived from them (e.g. the argument order of
+    commutative operators) would differ between a parent and its worker
+    processes. The proof cache fingerprints and the parallel dispatcher both
+    need term structure to be reproducible, so ordering decisions use this
+    CRC-based hash instead.
+    """
+    h = crc32(("%s|%r|%r" % (op, attr, sort)).encode("utf-8"))
+    for a in args:
+        h = crc32(b"%08x" % a._det, h)
+    return h
+
+
+def _struct_key(t: "Term", _memo: Optional[Dict] = None) -> tuple:
+    """Exact structural key; only used to break ``_det`` collisions."""
+    if _memo is None:
+        _memo = {}
+    cached = _memo.get(t)
+    if cached is None:
+        cached = (t.op, t.attr, t.sort,
+                  tuple(_struct_key(a, _memo) for a in t.args))
+        _memo[t] = cached
+    return cached
+
+
+def det_order(a: "Term", b: "Term") -> bool:
+    """True when ``a`` precedes ``b`` in the canonical (deterministic)
+    term order used to normalize commutative operators."""
+    if a._det != b._det:
+        return a._det < b._det
+    if a is b:
+        return False
+    return _struct_key(a) < _struct_key(b)
+
+
 class Term:
     """An immutable, hash-consed term.
 
@@ -43,7 +83,7 @@ class Term:
     Equality is identity thanks to interning.
     """
 
-    __slots__ = ("op", "args", "attr", "sort", "_hash")
+    __slots__ = ("op", "args", "attr", "sort", "_hash", "_det")
 
     def __new__(cls, op: str, args: Tuple["Term", ...], attr, sort: Sort):
         key = (op, args, attr, sort)
@@ -56,6 +96,7 @@ class Term:
         self.attr = attr
         self.sort = sort
         self._hash = hash(key)
+        self._det = _det_hash(op, args, attr, sort)
         _INTERN[key] = self
         return self
 
@@ -67,6 +108,12 @@ class Term:
 
     def __ne__(self, other) -> bool:
         return self is not other
+
+    def __reduce__(self):
+        # Pickle through the interning constructor so terms stay
+        # hash-consed (and `is`-comparable) after crossing a process
+        # boundary -- required for the parallel VC dispatcher.
+        return (Term, (self.op, self.args, self.attr, self.sort))
 
     @property
     def width(self) -> int:
@@ -207,7 +254,7 @@ def bv_binop(op: str, a: Term, b: Term) -> Term:
     if op in _COMMUTATIVE:
         if a.is_const() and not b.is_const():
             a, b = b, a
-        elif not a.is_const() and not b.is_const() and id(b) < id(a):
+        elif not a.is_const() and not b.is_const() and det_order(b, a):
             a, b = b, a
     zero = const(0, width)
     ones = const(_mask(width), width)
@@ -357,7 +404,7 @@ def eq(a: Term, b: Term) -> Term:
         return TRUE
     if a.is_const() and b.is_const():
         return bool_const(a.value == b.value)
-    return Term("eq", (a, b) if id(a) < id(b) else (b, a), None, BOOL)
+    return Term("eq", (a, b) if det_order(a, b) else (b, a), None, BOOL)
 
 
 def ne(a: Term, b: Term) -> Term:

@@ -9,7 +9,7 @@ what allowed the authors to test hardware and software separately.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from .. import obs
 

@@ -21,8 +21,7 @@ language specifies it -- see `dma_transfer_spec`.
 
 from __future__ import annotations
 
-from typing import Optional
-
+from .bus import MMIO_RANGES as _RANGES
 from .bus import Device
 
 DMA_BASE = 0x10030000
@@ -38,8 +37,6 @@ STATUS_BUSY = 1
 STATUS_IDLE = 0
 
 # Extend the platform MMIO map with the DMA engine's range.
-from .bus import MMIO_RANGES as _RANGES
-
 if (DMA_BASE, DMA_BASE + DMA_SIZE) not in _RANGES:
     _RANGES.append((DMA_BASE, DMA_BASE + DMA_SIZE))
 

@@ -10,8 +10,6 @@ bus as the Kami processor.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..riscv.machine import RiscvMachine
 from .bus import MMIOBus
 

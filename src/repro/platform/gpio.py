@@ -8,7 +8,7 @@ observe exactly when the bulb turned on or off.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from .bus import Device, GPIO_BASE
 

@@ -29,7 +29,7 @@ protection the theorem guarantees lives in the driver, not here).
 
 from __future__ import annotations
 
-from typing import Deque, List, Optional
+from typing import Deque, List
 
 from collections import deque
 

@@ -7,7 +7,7 @@ secondary consumer of the shared instruction model.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from .decode import decode
 from .insts import (

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from ..bedrock2.ast_ import Program
 from ..bedrock2.builder import (
-    block, call, func, if_, interact, lit, set_, var, while_,
+    block, func, if_, interact, lit, set_, var, while_,
 )
 from . import constants as C
 from . import lan9250_driver, lightbulb, spi_driver

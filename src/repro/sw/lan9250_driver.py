@@ -9,7 +9,7 @@ absence made the paper's first prototype remotely exploitable.
 from __future__ import annotations
 
 from ..bedrock2.builder import (
-    block, call, func, if_, interact, lit, load1, set_, store4, var, while_,
+    block, call, func, if_, interact, lit, set_, store4, var, while_,
 )
 from . import constants as C
 

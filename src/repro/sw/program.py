@@ -10,7 +10,6 @@ pipelined Kami processor -- the four rungs of the verified stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..bedrock2.ast_ import Program
 from ..bedrock2.semantics import MMIOExtHandler

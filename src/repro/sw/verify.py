@@ -40,6 +40,7 @@ from ..bedrock2.vcgen import (
     VerifyReport,
     verify_function,
 )
+from ..logic import solver as S
 from ..logic import terms as T
 from ..platform.bus import MMIO_RANGES
 from . import constants as C
@@ -372,10 +373,21 @@ class VerificationRun:
     def total_obligations(self) -> int:
         return sum(r.obligations for r in self.reports)
 
+    @property
+    def total_timeouts(self) -> int:
+        return sum(len(r.timeouts) for r in self.reports)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.reports)
+
     def __str__(self):
         lines = [str(r) for r in self.reports]
-        lines.append("total: %d functions, %d obligations"
-                     % (len(self.reports), self.total_obligations))
+        summary = ("total: %d functions, %d obligations"
+                   % (len(self.reports), self.total_obligations))
+        if self.total_timeouts:
+            summary += ", %d timeouts" % self.total_timeouts
+        lines.append(summary)
         return "\n".join(lines)
 
 
@@ -404,75 +416,172 @@ def _annotated_program(buggy: bool = False) -> Program:
     return program
 
 
-def verify_all(max_conflicts: int = 4_000_000) -> VerificationRun:
-    """Verify every lightbulb function against its specification."""
-    program = _annotated_program()
-    contracts = make_contracts()
-    ext = platform_mmio_spec()
-    run = VerificationRun()
+# Ordered registries of independent verification tasks. Task names
+# (``"lightbulb:spi_write"``) are the picklable unit of work the parallel
+# dispatcher farms to workers: a worker resolves the name back through
+# `run_verify_task`, so nothing un-picklable (specs are closures) ever
+# crosses the process boundary.
 
-    def verify(name: str, spec: FunctionSpec) -> None:
-        run.reports.append(verify_function(program, name, spec, ext,
-                                           contracts=contracts,
-                                           max_conflicts=max_conflicts))
-
-    verify("spi_write", spi_write_spec())
-    verify("spi_read", spi_read_spec())
-    verify("spi_xchg", spi_xchg_spec())
-    verify("lan9250_readword",
-           flag_ret_spec(1, [0, 0xFFFFFFFF], "lan9250_readword"))
-    verify("lan9250_writeword",
-           flag_ret_spec(0, [0, 0xFFFFFFFF], "lan9250_writeword"))
-    verify("lan9250_wait_for_boot",
-           flag_ret_spec(0, [0, C.ERR_TIMEOUT], "lan9250_wait_for_boot"))
-    verify("lan9250_init", FunctionSpec())
-    verify("lan9250_drain", drain_spec())
-    verify("lan9250_tryrecv", tryrecv_spec())
-    verify("lightbulb_init", FunctionSpec())
-    verify("lightbulb_loop", lightbulb_loop_spec())
-    return run
+_LIGHTBULB_SPECS: Dict[str, Callable[[], FunctionSpec]] = {
+    "spi_write": spi_write_spec,
+    "spi_read": spi_read_spec,
+    "spi_xchg": spi_xchg_spec,
+    "lan9250_readword":
+        lambda: flag_ret_spec(1, [0, 0xFFFFFFFF], "lan9250_readword"),
+    "lan9250_writeword":
+        lambda: flag_ret_spec(0, [0, 0xFFFFFFFF], "lan9250_writeword"),
+    "lan9250_wait_for_boot":
+        lambda: flag_ret_spec(0, [0, C.ERR_TIMEOUT], "lan9250_wait_for_boot"),
+    "lan9250_init": FunctionSpec,
+    "lan9250_drain": drain_spec,
+    "lan9250_tryrecv": tryrecv_spec,
+    "lightbulb_init": FunctionSpec,
+    "lightbulb_loop": lightbulb_loop_spec,
+}
 
 
-def verify_doorlock(max_conflicts: int = 4_000_000) -> VerificationRun:
-    """Verify the door-lock application's own functions, *reusing* the
-    driver contracts unchanged -- the modular-verification dividend: a new
-    app only proves its new code (paper section 2.1's motivation)."""
-    from .doorlock import LOCK_PIN, doorlock_program
+def _lock_loop_spec() -> FunctionSpec:
+    from .doorlock import LOCK_PIN
+
+    def pre(vc, state, args):
+        buffer_pre(vc, state, args)
+
+    def post(vc, state, args, rets):
+        for event in state.trace:
+            if isinstance(event, SymEvent) and event.action == "MMIOWRITE":
+                if _is_const(event.args[0], C.GPIO_OUTPUT_VAL_ADDR):
+                    goal = T.or_(T.eq(event.args[1], ZERO32),
+                                 T.eq(event.args[1],
+                                      T.const(1 << LOCK_PIN)))
+                    vc.prove(state, goal, "doorlock_loop/post-lock-value")
+
+    return FunctionSpec(pre=pre, post=post)
+
+
+_DOORLOCK_SPECS: Dict[str, Callable[[], FunctionSpec]] = {
+    "doorlock_init": FunctionSpec,
+    "doorlock_loop": _lock_loop_spec,
+}
+
+LIGHTBULB_TASKS = tuple("lightbulb:" + name for name in _LIGHTBULB_SPECS)
+DOORLOCK_TASKS = tuple("doorlock:" + name for name in _DOORLOCK_SPECS)
+
+
+def _doorlock_annotated_program() -> Program:
+    """The door-lock app with the shared drivers carrying the same loop
+    annotations as in the lightbulb build."""
+    from .doorlock import doorlock_program
 
     program = dict(doorlock_program())
-    # The drivers carry the same loop annotations as in the lightbulb build.
     annotated = _annotated_program()
     for name in ("spi_write", "spi_read", "lan9250_wait_for_boot",
                  "lan9250_init", "lan9250_drain"):
         program[name] = annotated[name]
-    contracts = make_contracts()
-    ext = platform_mmio_spec()
+    return program
+
+
+def run_verify_task(task: str, max_conflicts: int = 4_000_000) -> VerifyReport:
+    """Verify one function identified by task name (``app:function``).
+
+    This is the worker-side entry point of the parallel dispatcher; it is
+    also the sequential unit, so ``--jobs 1`` and ``--jobs N`` run the
+    exact same code per function.
+    """
+    app, _, fname = task.partition(":")
+    if app == "lightbulb" and fname in _LIGHTBULB_SPECS:
+        program = _annotated_program()
+        spec = _LIGHTBULB_SPECS[fname]()
+    elif app == "doorlock" and fname in _DOORLOCK_SPECS:
+        program = _doorlock_annotated_program()
+        spec = _DOORLOCK_SPECS[fname]()
+    else:
+        raise ValueError("unknown verification task %r" % task)
+    return verify_function(program, fname, spec, platform_mmio_spec(),
+                           contracts=make_contracts(),
+                           max_conflicts=max_conflicts)
+
+
+def _verify_worker(task):
+    """Pool worker for one whole-function verification task (must be a
+    module-level function so it is importable under fork and spawn)."""
+    from ..logic import dispatch
+
+    index, name, max_conflicts = task
+    with dispatch.TaskEnv() as env:
+        report = None
+        error = None
+        try:
+            report = run_verify_task(name, max_conflicts)
+        except VerificationError as err:
+            error = ("VerificationError", err.context, err.detail, err.model)
+        except S.SolverTimeout as err:
+            error = ("SolverTimeout", name, str(err), None)
+    return (index, report, None, error) + env.outcome()
+
+
+def run_verify_tasks(names, jobs=None, cache=None,
+                     max_conflicts: int = 4_000_000) -> List[VerifyReport]:
+    """Verify the named functions (see `run_verify_task`) in parallel;
+    returns their `VerifyReport`s in input order.
+
+    All tasks run to completion before any failure is surfaced; if any
+    task failed, the earliest submitted failure is re-raised here (as
+    `VerificationError` when that is what the worker hit), so the parent
+    sees the same error -- and the same counterexample -- as a
+    sequential run.
+    """
+    from ..logic import dispatch
+
+    jobs = dispatch.default_jobs() if not jobs else jobs
+    tasks = [(i, name, max_conflicts) for i, name in enumerate(names)]
+    raw = dispatch.run_pool(_verify_worker, tasks, jobs, cache, "verify")
+    reports = []
+    for _index, report, _, error, _, _, _ in raw:
+        if error is not None:
+            kind, context, detail, model = error
+            if kind == "VerificationError":
+                raise VerificationError(context, detail, model)
+            raise dispatch.DispatchError(kind, context, detail, model)
+        reports.append(report)
+    return reports
+
+
+def _run_tasks(names, max_conflicts: int, jobs: int,
+               cache) -> VerificationRun:
     run = VerificationRun()
-
-    def lock_loop_spec() -> FunctionSpec:
-        def pre(vc, state, args):
-            buffer_pre(vc, state, args)
-
-        def post(vc, state, args, rets):
-            for event in state.trace:
-                if isinstance(event, SymEvent) and event.action == "MMIOWRITE":
-                    if _is_const(event.args[0], C.GPIO_OUTPUT_VAL_ADDR):
-                        goal = T.or_(T.eq(event.args[1], ZERO32),
-                                     T.eq(event.args[1],
-                                          T.const(1 << LOCK_PIN)))
-                        vc.prove(state, goal, "doorlock_loop/post-lock-value")
-
-        return FunctionSpec(pre=pre, post=post)
-
-    run.reports.append(verify_function(program, "doorlock_init",
-                                       FunctionSpec(), ext,
-                                       contracts=contracts,
-                                       max_conflicts=max_conflicts))
-    run.reports.append(verify_function(program, "doorlock_loop",
-                                       lock_loop_spec(), ext,
-                                       contracts=contracts,
-                                       max_conflicts=max_conflicts))
+    if jobs is not None and jobs != 1:
+        run.reports.extend(run_verify_tasks(names, jobs=jobs, cache=cache,
+                                            max_conflicts=max_conflicts))
+        return run
+    previous = S.set_cache(cache) if cache is not None else None
+    try:
+        for name in names:
+            run.reports.append(run_verify_task(name, max_conflicts))
+    finally:
+        if cache is not None:
+            S.set_cache(previous)
     return run
+
+
+def verify_all(max_conflicts: int = 4_000_000, jobs: int = 1,
+               cache=None) -> VerificationRun:
+    """Verify every lightbulb function against its specification.
+
+    ``jobs`` > 1 dispatches the (independent, modular) per-function tasks
+    to a process pool; ``cache`` is an optional
+    `repro.logic.cache.ProofCache` consulted for every VC, so re-runs of
+    unchanged functions skip the solver entirely. Reports come back in
+    the same order either way.
+    """
+    return _run_tasks(LIGHTBULB_TASKS, max_conflicts, jobs, cache)
+
+
+def verify_doorlock(max_conflicts: int = 4_000_000, jobs: int = 1,
+                    cache=None) -> VerificationRun:
+    """Verify the door-lock application's own functions, *reusing* the
+    driver contracts unchanged -- the modular-verification dividend: a new
+    app only proves its new code (paper section 2.1's motivation)."""
+    return _run_tasks(DOORLOCK_TASKS, max_conflicts, jobs, cache)
 
 
 def verify_drain_buggy_fails(max_conflicts: int = 4_000_000) -> VerificationError:

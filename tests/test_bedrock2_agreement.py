@@ -14,8 +14,8 @@ from hypothesis import strategies as st
 
 from repro.bedrock2 import ast_ as A
 from repro.bedrock2.builder import (
-    block, call, func, if_, interact, lit, load4, set_, skip, stackalloc,
-    store4, var, while_,
+    block, call, func, if_, interact, lit, load4, set_, stackalloc, store4,
+    var, while_,
 )
 from repro.bedrock2.semantics import (
     ExtHandler, Memory, UndefinedBehavior, run_function,

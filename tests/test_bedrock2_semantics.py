@@ -4,7 +4,7 @@ import pytest
 
 from repro.bedrock2.builder import (
     block, call, func, if_, interact, lit, load1, load2, load4, set_, skip,
-    stackalloc, store1, store2, store4, var, while_,
+    stackalloc, store2, store4, var, while_,
 )
 from repro.bedrock2.semantics import (
     ExtHandler,

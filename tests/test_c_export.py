@@ -15,7 +15,9 @@ from repro.bedrock2.builder import (
     store1, store4, var, while_,
 )
 from repro.bedrock2.c_export import export_expr, export_program
-from repro.bedrock2.semantics import ExtHandler, Memory, UndefinedBehavior, run_function
+from repro.bedrock2.semantics import (
+    ExtHandler, UndefinedBehavior, run_function,
+)
 
 CC = shutil.which("gcc") or shutil.which("cc")
 

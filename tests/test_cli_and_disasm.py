@@ -3,8 +3,6 @@
 import io
 import contextlib
 
-import pytest
-
 from repro.__main__ import main
 from repro.riscv import insts as I
 from repro.riscv.disasm import disassemble, format_instr

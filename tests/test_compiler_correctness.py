@@ -18,7 +18,7 @@ from hypothesis import strategies as st
 
 from repro.bedrock2 import ast_ as A
 from repro.bedrock2.builder import (
-    block, call, func, if_, interact, lit, load1, load2, load4, set_, skip,
+    block, call, func, if_, interact, lit, load1, load2, load4, set_,
     stackalloc, store1, store2, store4, var, while_,
 )
 from repro.bedrock2.semantics import ExtHandler, Memory, UndefinedBehavior, run_function

@@ -2,7 +2,6 @@
 preserved) and effectiveness (it actually speeds code up) -- §7.2.1's
 "gcc -O3" stand-in."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -15,12 +14,8 @@ from repro.bedrock2.semantics import ExtHandler, Memory, UndefinedBehavior, run_
 from repro.compiler.flatten import flatten_program
 from repro.compiler.flatimp import run_flat_function
 from repro.compiler.opt import (
-    allocate_program_linear_scan,
-    compile_program_optimized,
-    const_prop_program,
-    dce_program,
-    inline_program,
-    optimize,
+    compile_program_optimized, const_prop_program, dce_program,
+    inline_program, optimize,
 )
 from repro.compiler.pipeline import compile_program, run_compiled
 

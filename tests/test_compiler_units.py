@@ -5,16 +5,15 @@ branch relaxation, stack accounting."""
 import pytest
 
 from repro.bedrock2.builder import (
-    block, call, func, if_, interact, lit, load4, set_, stackalloc, store4,
-    var, while_,
+    block, call, func, if_, lit, load4, set_, stackalloc, store4, var,
+    while_,
 )
 from repro.compiler.codegen import (
     BranchTo, CompileError, FunctionCompiler, JumpTo, Label,
     MMIOExtCallCompiler, resolve_labels,
 )
 from repro.compiler.flatimp import (
-    FCall, FFunction, FIf, FInteract, FLoad, FOp, FSetLit, FSetVar,
-    FStackalloc, FStore, FWhile, stmt_vars,
+    FFunction, FOp, FSetLit, FSetVar, FStackalloc, FWhile, stmt_vars,
 )
 from repro.compiler.flatten import flatten_function, flatten_program
 from repro.compiler.pipeline import compile_program, compute_stack_bound
@@ -57,7 +56,7 @@ def test_flatten_while_recomputes_condition():
 
 
 def test_flatten_fresh_names_never_collide_with_source():
-    fn = func("f", ("$t0",), ("r",), set_("r", var("$t0") + 1))
+    func("f", ("$t0",), ("r",), set_("r", var("$t0") + 1))
     # "$" names cannot appear in source (builder takes them though); the
     # flattener's counter starts fresh per function, so ensure uniqueness:
     flat = flatten_function(func("g", ("a",), ("r",),
@@ -232,7 +231,6 @@ def test_compiled_frames_fit_bound_at_runtime():
     from repro.compiler.pipeline import run_compiled
 
     compiled = compile_program(prog, entry="main", stack_top=1 << 16)
-    low_water = [1 << 16]
 
     class Spy:
         def is_mmio(self, addr):

@@ -1,0 +1,148 @@
+"""The parallel VC dispatcher (`repro.logic.dispatch`).
+
+The hard requirements: ``--jobs N`` must be *observationally identical*
+to ``--jobs 1`` (bit-identical reports, counterexamples, and proof-cache
+contents), and one timed-out obligation must never abort the rest of a
+batch -- it is surfaced as a per-obligation ``timeout`` status instead.
+"""
+
+import pytest
+
+from repro import obs
+from repro.logic import solver as S
+from repro.logic import terms as T
+from repro.logic.cache import ProofCache
+from repro.logic.dispatch import Obligation, discharge_batch, parallel_call
+from repro.sw.verify import verify_all, verify_doorlock
+
+X = T.var("x")
+Y = T.var("y")
+
+# x*x == 7 is unsatisfiable mod 2^32 (7 is not a square mod 8), but the
+# SAT tier needs to search the multiplier circuit to see it -- with a
+# one-conflict budget the query reliably times out.
+HARD_UNSAT_GOAL = T.ne(T.mul(X, X), T.const(7))
+
+
+def _batch():
+    return [
+        Obligation(T.ult(X, T.const(16)), (T.ult(X, T.const(10)),),
+                   context="provable"),
+        Obligation(T.eq(Y, T.const(0)), (), context="refutable"),
+        Obligation(HARD_UNSAT_GOAL, (), context="stuck", max_conflicts=1),
+        Obligation(T.eq(T.add(X, T.const(0)), X), (), context="structural"),
+    ]
+
+
+def test_timeout_is_per_obligation_not_batch_fatal():
+    results = discharge_batch(_batch(), jobs=1)
+    assert [r.context for r in results] == \
+        ["provable", "refutable", "stuck", "structural"]
+    assert [r.status for r in results] == \
+        ["proved", "refuted", "timeout", "proved"]
+    # The refuted VC carries its countermodel; the timed-out one carries
+    # nothing (it is unknown, not false).
+    assert results[1].model is not None
+    assert results[2].model is None
+
+
+def test_parallel_batch_matches_sequential():
+    sequential = discharge_batch(_batch(), jobs=1)
+    parallel = discharge_batch(_batch(), jobs=2)
+    assert [(r.context, r.status, r.model) for r in sequential] == \
+        [(r.context, r.status, r.model) for r in parallel]
+
+
+def test_solver_prove_distinguishes_timeout_from_refutation():
+    with pytest.raises(S.SolverTimeout):
+        S.prove(HARD_UNSAT_GOAL, max_conflicts=1)
+    with pytest.raises(S.ProofFailure):
+        S.prove(T.eq(Y, T.const(0)))
+
+
+def test_vc_prove_records_timeout_in_report():
+    from repro.bedrock2.builder import func, set_, var
+    from repro.bedrock2.extspec import MMIOSpec
+    from repro.bedrock2.vcgen import FunctionSpec, verify_function
+
+    prog = {"f": func("f", ("x",), ("r",), set_("r", var("x")))}
+
+    def post(vc, state, args, rets):
+        vc.prove(state, T.eq(rets[0], args[0]), "post/easy")
+        vc.prove(state, HARD_UNSAT_GOAL, "post/hard")
+
+    report = verify_function(prog, "f", FunctionSpec(post=post),
+                             MMIOSpec([]), max_conflicts=1)
+    assert report.timeouts == ("post/hard",)
+    assert not report.ok
+    assert report.obligations == 1  # the easy one still went through
+    assert "TIMED OUT" in str(report)
+
+    with pytest.raises(S.SolverTimeout):
+        verify_function(prog, "f", FunctionSpec(post=post), MMIOSpec([]),
+                        max_conflicts=1, record_timeouts=False)
+
+
+def test_jobs4_reports_bit_identical_to_jobs1():
+    sequential = verify_all(jobs=1)
+    parallel = verify_all(jobs=4)
+    assert sequential.reports == parallel.reports
+    assert str(sequential) == str(parallel)
+
+
+def test_jobs_parallel_doorlock_and_counter_merge():
+    queries = obs.counter("solver.queries")
+    before = queries.value
+    run = verify_doorlock(jobs=2)
+    assert [r.function for r in run.reports] == \
+        ["doorlock_init", "doorlock_loop"]
+    # Worker solver activity was merged back into the parent registry.
+    assert queries.value > before
+
+
+def test_parallel_and_sequential_produce_identical_cache_files(tmp_path):
+    d1 = str(tmp_path / "seq")
+    d2 = str(tmp_path / "par")
+    with ProofCache(d1) as cache:
+        verify_all(jobs=1, cache=cache)
+    with ProofCache(d2) as cache:
+        verify_all(jobs=3, cache=cache)
+    seq = sorted(open(d1 + "/proofs.jsonl").read().splitlines())
+    par = sorted(open(d2 + "/proofs.jsonl").read().splitlines())
+    assert seq == par
+
+
+def test_parallel_workers_start_warm_from_parent_cache(tmp_path):
+    from repro.logic.cache import HITS
+
+    d = str(tmp_path / "cache")
+    with ProofCache(d) as cache:
+        verify_all(jobs=1, cache=cache)
+    hits_before = HITS.value
+    with ProofCache(d) as cache:
+        verify_all(jobs=3, cache=cache)
+        # Every worker query was served from the seeded entries (hit
+        # counts are merged back); nothing new came back to absorb.
+        assert cache.fresh_entries() == []
+    assert HITS.value - hits_before > 0
+
+
+def test_parallel_call_round_trips_results():
+    results = parallel_call("repro.core.end2end:expected_bulb_history",
+                            [{"accepted_frames": []},
+                             {"accepted_frames": []}], jobs=2)
+    assert results == [[], []]
+
+
+def test_counterexample_identical_across_process_boundary():
+    """The buggy-drain countermodel is the paper's falsifiable negative
+    control; it must come out bit-identical whether the verification ran
+    in-process or in worker processes."""
+    from repro.sw.verify import verify_drain_buggy_fails
+
+    local = verify_drain_buggy_fails()
+    remote = parallel_call("repro.sw.verify:verify_drain_buggy_fails",
+                           [{}, {}], jobs=2)
+    for err in remote:
+        assert err.model == local.model
+        assert err.context == local.context

@@ -6,10 +6,9 @@ of the transfer protocol."""
 import pytest
 
 from repro.bedrock2.builder import (
-    block, call, func, interact, lit, load1, set_, stackalloc, var, while_, if_,
+    block, call, func, interact, lit, load1, set_, var, while_, if_,
 )
-from repro.bedrock2.semantics import MMIOExtHandler, run_function
-from repro.compiler import compile_program, run_compiled
+from repro.compiler import compile_program
 from repro.platform.bus import MMIOBus
 from repro.platform.dma import (
     DMA_ADDR, DMA_BASE, DMA_CTRL, DMA_LEN, DMA_STATUS, DMA_VALUE,

@@ -2,20 +2,16 @@
 own spec. The security property is authentication: only frames carrying
 the secret PIN move the lock."""
 
-import pytest
 
 from repro.bedrock2.builder import call, var
 from repro.bedrock2.semantics import Interpreter, Memory, State, to_mmio_triples
-from repro.platform.gpio import GPIO_OUTPUT_VAL
 from repro.platform.net import (
     lightbulb_packet, oversize_packet, truncated_packet,
 )
 from repro.riscv.machine import RiscvMachine
 from repro.compiler import compile_program
 from repro.sw import constants as C
-from repro.sw.doorlock import (
-    DEFAULT_PIN, LOCK_PIN, doorlock_program, lock_packet,
-)
+from repro.sw.doorlock import LOCK_PIN, doorlock_program, lock_packet
 from repro.sw.doorlock_spec import good_lock_trace
 from repro.sw.program import make_platform
 

@@ -4,13 +4,12 @@
 import pytest
 
 from repro.core.end2end import (
-    EndToEndResult, expected_bulb_history, run_adversarial, run_end_to_end,
+    expected_bulb_history, run_adversarial, run_end_to_end,
 )
 from repro.platform.net import (
     lightbulb_packet, non_udp_packet, oversize_packet, truncated_packet,
     wrong_ethertype_packet,
 )
-from repro.sw.program import make_platform
 
 
 def test_idle_system_satisfies_spec():

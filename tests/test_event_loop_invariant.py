@@ -8,7 +8,6 @@ compiled system re-enters ``lightbulb_loop``, the machine must be back in
 the same canonical shape -- same stack pointer, same callee-saved
 registers, stack usage within the static bound, program text untouched."""
 
-import pytest
 
 from repro.platform.net import lightbulb_packet, truncated_packet
 from repro.riscv.machine import RiscvMachine

@@ -7,7 +7,7 @@ import pytest
 
 from repro.bedrock2.builder import call, var
 from repro.bedrock2.semantics import (
-    Interpreter, Memory, OutOfFuel, State, run_function, to_mmio_triples,
+    Interpreter, Memory, OutOfFuel, State, to_mmio_triples,
 )
 from repro.platform.net import lightbulb_packet
 from repro.sw import constants as C

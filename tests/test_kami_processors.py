@@ -3,15 +3,15 @@ processor-ISA consistency (paper sections 5.5, 5.7, 5.8)."""
 
 import pytest
 
-from repro.bedrock2.builder import block, call, func, if_, interact, lit, set_, var, while_
+from repro.bedrock2.builder import (
+    block, call, func, interact, lit, set_, var, while_,
+)
 from repro.compiler import compile_program
-from repro.kami.framework import ExternalWorld, System
-from repro.kami.memory import make_memory_module, ram_snapshot
-from repro.kami.pipeline_proc import make_pipelined_processor
+from repro.kami.framework import ExternalWorld
+from repro.kami.memory import ram_snapshot
 from repro.kami.refinement import (
     build_pipelined_system, build_spec_system, check_refinement,
 )
-from repro.kami.spec_proc import make_spec_processor
 from repro.riscv import insts as I
 from repro.riscv.encode import encode_program
 from repro.riscv.machine import RiscvMachine

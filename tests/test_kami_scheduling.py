@@ -92,7 +92,6 @@ def test_randomized_priorities_preserve_trace(seed):
 def test_randomized_priorities_on_lightbulb_refine_spec():
     """Full refinement under an adversarial rule order, on the real
     application binary with a packet in flight."""
-    from repro.kami.refinement import build_spec_system
 
     compiled = compiled_lightbulb(stack_top=1 << 16)
 

@@ -4,14 +4,16 @@ the trace specification, and the program-logic verification (paper §3, §5.1)."
 import pytest
 
 from repro.bedrock2.builder import call, var
-from repro.bedrock2.semantics import Interpreter, Memory, State, run_function, to_mmio_triples
+from repro.bedrock2.semantics import (
+    Interpreter, Memory, State, to_mmio_triples,
+)
 from repro.platform.net import (
     lightbulb_packet, non_udp_packet, oversize_packet, truncated_packet,
     wrong_ethertype_packet,
 )
 from repro.sw import constants as C
 from repro.sw.program import lightbulb_program, make_platform
-from repro.sw.specs import boot_seq, good_hl_trace, iteration, poll_none
+from repro.sw.specs import boot_seq, good_hl_trace, iteration
 from repro.traces.predicates import Star
 
 

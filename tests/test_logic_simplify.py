@@ -2,7 +2,6 @@
 *sound* abstractions of evaluation -- the analogue of proving rewrite
 lemmas before registering them with a proof assistant's tactic."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

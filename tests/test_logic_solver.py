@@ -168,7 +168,6 @@ def test_signed_comparison_blast():
 
 
 def test_variable_shift_blast():
-    x = T.var("x", 8)
     n = T.var("n", 8)
     # (x << n) >> n keeps the low bits if no overflow: check a weaker fact,
     # shifting by more than width-1 bits of a masked amount stays defined.

@@ -7,7 +7,6 @@ produce a parseable Chrome-trace JSONL whose span tree includes both
 solver and CPU spans.
 """
 
-import json
 
 import pytest
 

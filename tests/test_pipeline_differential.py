@@ -8,7 +8,6 @@ ISA-level machine, and the full architectural state must agree. Also
 includes the §7.1.2 honesty check: the trace specification deliberately
 does not constrain timing."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Unit tests for the device models: bus, GPIO, SPI, LAN9250, packets."""
 
-import pytest
 
 from repro.platform.bus import GPIO_BASE, MMIOBus, SPI_BASE
 from repro.platform.gpio import GPIO_OUTPUT_EN, GPIO_OUTPUT_VAL, Gpio, LIGHTBULB_PIN
@@ -12,7 +11,7 @@ from repro.platform.lan9250 import (
 from repro.platform.net import (
     ETHERTYPE_IPV4, OFF_CMD, OFF_ETHERTYPE, OFF_IP_PROTO, adversarial_stream,
     ipv4_header, is_valid_command, lightbulb_packet, non_udp_packet,
-    oversize_packet, truncated_packet, udp_datagram, wrong_ethertype_packet,
+    oversize_packet, truncated_packet, wrong_ethertype_packet,
 )
 from repro.platform.spi import CSMODE_AUTO, CSMODE_HOLD, FLAG_BIT, Spi, SPI_CSMODE, SPI_RXDATA, SPI_TXDATA
 

@@ -2,7 +2,6 @@
 the dynamic shadow checker must accept correct allocations and catch
 planted clobbers."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -229,8 +229,6 @@ def test_decexec_agrees_with_isa_semantics(instr, regs, mem_byte):
     if instr.name in ("lb", "lbu", "lh", "lhu", "lw", "sb", "sh", "sw"):
         regs = list(regs)
         regs[instr.rs1] = 0x400
-        size = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4,
-                "sb": 1, "sh": 2, "sw": 4}[instr.name]
         instr = I.Instr(instr.name, rd=instr.rd, rs1=instr.rs1,
                         rs2=instr.rs2, imm=(instr.imm % 64) * 4)
 

@@ -7,14 +7,13 @@ system against dead and flaky devices and check (a) the software really
 does give up -- total correctness observed -- and (b) the resulting traces
 are still inside the spec."""
 
-import pytest
 
 from repro.bedrock2.builder import call, var
 from repro.bedrock2.semantics import Interpreter, Memory, State, to_mmio_triples
 from repro.platform.net import lightbulb_packet
 from repro.sw import constants as C
 from repro.sw.program import lightbulb_program, make_platform
-from repro.sw.specs import boot_seq, good_hl_trace
+from repro.sw.specs import good_hl_trace
 
 PROG = lightbulb_program()
 SPEC = good_hl_trace()

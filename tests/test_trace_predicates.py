@@ -1,12 +1,11 @@
 """Unit and property tests for the trace-predicate combinators."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.traces.predicates import (
-    Concat, Epsilon, Exists, Guard, Never, RepeatN, Star, Step, Union,
-    capture, event, ld, seq, st as st_, union, value_is, value_where,
+    Epsilon, Exists, Guard, Never, RepeatN, Star, capture, event, ld, seq,
+    st as st_, union, value_is, value_where,
 )
 
 
