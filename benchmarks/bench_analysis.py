@@ -1,0 +1,136 @@
+"""Static-analysis performance: lint throughput and VC prescreening.
+
+Measures (a) the wall time of linting every shipped program -- the CI
+``lint-programs`` step must stay cheap enough to run on each push -- and
+(b) full software verification with and without the abstract-
+interpretation prescreener (``verify --prescreen``), recording how many
+obligations are discharged without a solver query. The wall times feed
+``benchmarks/baselines.json`` via ``check_regression.py``.
+
+Also runs standalone: ``python benchmarks/bench_analysis.py --json OUT``
+writes a BENCH_analysis.json-style record combining wall times with the
+``analysis.*`` observability counters.
+"""
+
+from repro import obs
+from repro.analysis import LintConfig, lint_program
+from repro.analysis.domains import CsPairingSpec
+from repro.bedrock2.extspec import MMIOSpec
+from repro.platform.bus import MMIO_RANGES
+from repro.sw import constants as C
+from repro.sw.doorlock import doorlock_program
+from repro.sw.program import lightbulb_program
+from repro.sw.verify import verify_all, verify_doorlock
+
+
+def _config():
+    return LintConfig(
+        mmio_ranges=MMIO_RANGES,
+        ext_spec=MMIOSpec(MMIO_RANGES),
+        cs_pairing=CsPairingSpec(addr=C.SPI_CSMODE_ADDR,
+                                 acquire=C.CSMODE_HOLD,
+                                 release=C.CSMODE_AUTO))
+
+
+def _lint_workload():
+    config = _config()
+    findings = list(lint_program(lightbulb_program(), config))
+    findings += lint_program(doorlock_program(), config)
+    return findings
+
+
+def _verify_workload(prescreen):
+    run = verify_all(prescreen=prescreen)
+    doorlock = verify_doorlock(prescreen=prescreen)
+    return run, doorlock
+
+
+def test_lint_shipped_programs(benchmark):
+    """Linting the whole software stack is a sub-second operation (and
+    finds nothing -- the zero-warnings gate)."""
+    findings = benchmark(_lint_workload)
+    assert findings == []
+
+
+def test_prescreen_discharges_obligations(benchmark):
+    """The prescreener proves a solid fraction of the workload's
+    obligations abstractly, with verdicts identical to the pure-solver
+    run (the soundness contract tested in tests/test_prescreen.py)."""
+    counter = obs.counter("analysis.obligations_prescreened")
+    before = counter.value
+    run, doorlock = benchmark.pedantic(lambda: _verify_workload(True),
+                                       rounds=1, iterations=1)
+    discharged = counter.value - before
+    total = run.total_obligations + sum(r.obligations
+                                        for r in doorlock.reports)
+    print()
+    print("prescreen discharged %d/%d obligations abstractly"
+          % (discharged, total))
+    assert run.ok and doorlock.ok
+    assert discharged >= total / 10
+
+
+def main(argv=None):
+    """Standalone run: lint + verify-with/without-prescreen wall times."""
+    import argparse
+    import json
+    import time
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="OUT", default=None,
+                        help="write a BENCH_analysis.json-style record")
+    args = parser.parse_args(argv)
+
+    obs.enable(trace=False)
+    record = {"benchmark": "analysis", "results": []}
+    prescreened = obs.counter("analysis.obligations_prescreened")
+
+    t0 = time.perf_counter()
+    findings = _lint_workload()
+    lint_wall = time.perf_counter() - t0
+    record["results"].append({
+        "name": "lint_programs", "wall_seconds": lint_wall,
+        "findings": len(findings),
+        "functions": obs.counter("analysis.functions_linted").value,
+    })
+    print("lint (all programs):     %.2fs, %d finding(s)"
+          % (lint_wall, len(findings)))
+
+    p0 = prescreened.value
+    t0 = time.perf_counter()
+    run, doorlock = _verify_workload(prescreen=True)
+    on_wall = time.perf_counter() - t0
+    discharged = prescreened.value - p0
+    total = run.total_obligations + sum(r.obligations
+                                        for r in doorlock.reports)
+    record["results"].append({
+        "name": "verify_prescreen_on", "wall_seconds": on_wall,
+        "obligations": total, "prescreened": discharged,
+    })
+    print("verify (prescreen on):   %.2fs, %d/%d obligations discharged "
+          "abstractly" % (on_wall, discharged, total))
+
+    t0 = time.perf_counter()
+    run_off, doorlock_off = _verify_workload(prescreen=False)
+    off_wall = time.perf_counter() - t0
+    record["results"].append({
+        "name": "verify_prescreen_off", "wall_seconds": off_wall,
+        "obligations": run_off.total_obligations
+        + sum(r.obligations for r in doorlock_off.reports),
+    })
+    print("verify (prescreen off):  %.2fs" % off_wall)
+
+    record["counters"] = {}
+    for prefix in ("analysis.", "solver.", "vcgen."):
+        record["counters"].update(obs.REGISTRY.snapshot(prefix))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(record, f, indent=2)
+        print("wrote %s" % args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

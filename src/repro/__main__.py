@@ -3,6 +3,7 @@
 Wraps the library's main entry points for interactive exploration:
 
 * ``verify``      -- program-logic verification of the lightbulb software
+* ``lint``        -- static analysis of the Bedrock2 programs (B2Axxx codes)
 * ``check``       -- the per-interface integration checks (Figure 3)
 * ``end2end``     -- run the end-to-end theorem checker with packets
 * ``bench``       -- the §7.2.1 latency decomposition
@@ -11,7 +12,7 @@ Wraps the library's main entry points for interactive exploration:
 * ``export-c``    -- print the Bedrock2-to-C export of the lightbulb
 * ``demo``        -- a short interactive lightbulb session on the ISA machine
 
-``verify``, ``end2end``, ``bench`` and ``stats`` accept
+``verify``, ``lint``, ``end2end``, ``bench`` and ``stats`` accept
 ``--trace-out FILE.jsonl`` to record a Chrome-trace-format span trace
 (open in Perfetto; see docs/observability.md).
 """
@@ -61,11 +62,16 @@ def cmd_verify(args) -> int:
         from .logic.dispatch import default_jobs
 
         jobs = default_jobs()
-    run = verify_all(jobs=jobs, cache=cache)
+    run = verify_all(jobs=jobs, cache=cache, prescreen=args.prescreen)
     print(run)
     print("door-lock application (reusing the driver contracts):")
-    doorlock = verify_doorlock(jobs=jobs, cache=cache)
+    doorlock = verify_doorlock(jobs=jobs, cache=cache,
+                               prescreen=args.prescreen)
     print(doorlock)
+    if args.prescreen and jobs == 1:
+        prescreened = obs.counter("analysis.obligations_prescreened").value
+        print("prescreen: %d obligation(s) discharged abstractly "
+              "(no solver query)" % prescreened)
     with solver.cached(cache):
         err = verify_drain_buggy_fails()
     print("negative control: buggy drain fails at %s" % err.context)
@@ -76,6 +82,53 @@ def cmd_verify(args) -> int:
         cache.close()
     _obs_finish(args)
     return 0 if (run.ok and doorlock.ok) else 1
+
+
+def _parse_suppressions(specs):
+    """``CODE`` or ``CODE:FUNCTION`` strings -> suppression keys."""
+    out = set()
+    for spec in specs or ():
+        code, _, fname = spec.partition(":")
+        out.add((code, fname) if fname else code)
+    return frozenset(out)
+
+
+def cmd_lint(args) -> int:
+    from .analysis import LintConfig, lint_program
+    from .analysis.domains import CsPairingSpec
+    from .analysis.lint import render_json, render_text
+    from .platform.bus import MMIO_RANGES
+    from .sw import constants as C
+    from .sw.doorlock import doorlock_program
+    from .sw.program import lightbulb_program
+    from .sw.verify import platform_mmio_spec
+
+    _obs_start(args)
+    config = LintConfig(
+        mmio_ranges=MMIO_RANGES,
+        ext_spec=platform_mmio_spec(),
+        cs_pairing=CsPairingSpec(addr=C.SPI_CSMODE_ADDR,
+                                 acquire=C.CSMODE_HOLD,
+                                 release=C.CSMODE_AUTO),
+        suppress=_parse_suppressions(args.suppress),
+    )
+    findings = []
+    if args.app in ("lightbulb", "all"):
+        findings.extend(lint_program(lightbulb_program(), config))
+    if args.app in ("doorlock", "all"):
+        # The drivers are shared; lint only the doorlock's own functions
+        # in "all" mode so shared-driver findings are not duplicated.
+        program = doorlock_program()
+        if args.app == "all":
+            program = {name: fn for name, fn in program.items()
+                       if name.startswith("doorlock")}
+        findings.extend(lint_program(program, config))
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    _obs_finish(args)
+    return 1 if findings else 0
 
 
 def cmd_check(args) -> int:
@@ -239,6 +292,19 @@ def main(argv=None) -> int:
                    help="content-addressed proof cache directory: decided "
                         "VCs are skipped on re-verification "
                         "(see docs/incremental.md)")
+    p.add_argument("--prescreen", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="discharge obligations by abstract interpretation "
+                        "before the SAT solver (see docs/static-analysis.md)")
+    add_trace_out(p)
+    p = sub.add_parser("lint", help="static analysis of the Bedrock2 apps")
+    p.add_argument("--app", choices=("lightbulb", "doorlock", "all"),
+                   default="all")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--suppress", action="append", metavar="CODE[:FUNC]",
+                   default=None,
+                   help="suppress a diagnostic code, optionally only in one "
+                        "function (repeatable)")
     add_trace_out(p)
     sub.add_parser("check", help="run the integration checks")
     p = sub.add_parser("end2end", help="end-to-end theorem with fuzzing")
@@ -270,6 +336,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     handler = {
         "verify": cmd_verify,
+        "lint": cmd_lint,
         "check": cmd_check,
         "end2end": cmd_end2end,
         "bench": cmd_bench,

@@ -1,0 +1,26 @@
+"""Static analysis over Bedrock2 programs (and the compiler's flat IR).
+
+A lightweight abstract-interpretation layer that runs *before* symbolic
+execution: where `repro.bedrock2.vcgen` explores paths and discharges
+obligations with the SAT portfolio, this package answers cheaper
+questions wholesale -- is every variable assigned before use, is any
+store dead, is any branch unreachable, does every external call respect
+the platform's `extspec` -- and prescreens verification conditions so
+that abstractly-provable obligations never reach the solver.
+
+Layout (Figure-3 discipline: depends on bedrock2/compiler/logic, never
+the reverse -- vcgen receives the prescreener by injection):
+
+* `repro.analysis.dataflow` -- the generic forward/backward walkers over
+  the Bedrock2 AST and FlatImp;
+* `repro.analysis.domains`  -- abstract domains: definite assignment,
+  words as intervals + known bits (shared with `repro.logic.intervals`),
+  and the MMIO/chip-select protocol domain;
+* `repro.analysis.lint`     -- the diagnostic passes (`python -m repro
+  lint`), with stable ``B2Axxx`` codes;
+* `repro.analysis.prescreen` -- the VC prescreener hooked into
+  `repro.bedrock2.vcgen.VC` (``verify --prescreen``).
+"""
+
+from .lint import Diagnostic, LintConfig, lint_program  # noqa: F401
+from .prescreen import Prescreener  # noqa: F401

@@ -1,0 +1,243 @@
+"""Abstract-interpretation prescreening of verification conditions.
+
+`Prescreener` is the hook `repro.bedrock2.vcgen.VC` consults before the
+solver (``verify --prescreen``): it mines the symbolic state's *path
+condition* into interval and known-bits environments over whole terms,
+then abstractly evaluates the goal with `repro.logic.intervals`. Goals
+the abstraction already proves never reach bit-blasting or SAT.
+
+Soundness argument (docs/static-analysis.md spells this out): every
+fact mined is a logical consequence of the path conjunction, and the
+interval/known-bits evaluation is a sound over-approximation of term
+semantics, so ``decide_bool(goal) is True`` implies ``path ⊨ goal`` --
+exactly what `S.check_valid(goal, hypotheses=path)` would conclude.
+Because term DAGs record the whole dataflow history of each symbolic
+value, evaluating the goal's DAG under path-derived facts subsumes a
+flow-sensitive forward analysis of the function body, without ever
+trusting facts the havocked loop states no longer guarantee.
+
+The prescreener only ever *proves* goals (it never refutes), so
+verification verdicts with and without it are identical by
+construction; only the number of solver queries changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+from ..logic import terms as T
+from ..logic.intervals import BitsEnv, KnownBits, Range, decide_bool
+
+_PRESCREENED = obs.counter("analysis.obligations_prescreened")
+_MISSED = obs.counter("analysis.prescreen_misses")
+
+#: Rounds of the relational-tightening pass over mined ``a < b`` /
+#: ``b <= a`` facts (transitive chains in real path conditions are
+#: short; two rounds already close ``i < num_words <= 380``).
+_TIGHTEN_ROUNDS = 3
+
+
+class _Facts:
+    """Interval + known-bits facts about whole terms, mined from a path
+    condition. Every recorded fact is implied by the path conjunction."""
+
+    def __init__(self) -> None:
+        self.env: Dict[T.Term, Range] = {}
+        self.bits: BitsEnv = {}
+        #: pairs (a, b) with ``a < b`` known (strict unsigned).
+        self.lt: List[Tuple[T.Term, T.Term]] = []
+        #: pairs (a, b) with ``a <= b`` known.
+        self.le: List[Tuple[T.Term, T.Term]] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def _is_word(self, t: T.Term) -> bool:
+        return isinstance(t.sort, tuple)
+
+    def set_range(self, t: T.Term, lo: int, hi: int) -> None:
+        if t.is_const() or not self._is_word(t):
+            return
+        old_lo, old_hi = self.env.get(t, (0, (1 << t.width) - 1))
+        lo, hi = max(lo, old_lo), min(hi, old_hi)
+        if lo > hi:  # contradictory facts: the path is infeasible, any
+            hi = lo  # sound-for-valid answer is acceptable
+        self.env[t] = (lo, hi)
+
+    def meet_bits(self, t: T.Term, kb: KnownBits) -> None:
+        if t.is_const() or not self._is_word(t):
+            return
+        old = self.bits.get(t)
+        self.bits[t] = kb if old is None else old.meet(kb)
+
+    # -- mining --------------------------------------------------------------
+
+    def mine(self, fact: T.Term) -> None:
+        op = fact.op
+        if op == "and":
+            for arg in fact.args:
+                self.mine(arg)
+            return
+        if op == "eq":
+            self._mine_eq(fact.args[0], fact.args[1])
+            return
+        if op == "ult":
+            a, b = fact.args
+            if a.is_const():
+                self.set_range(b, a.value + 1, (1 << b.width) - 1)
+            elif b.is_const():
+                self.set_range(a, 0, max(b.value - 1, 0))
+            else:
+                self.lt.append((a, b))
+            return
+        if op == "not":
+            inner = fact.args[0]
+            if inner.op == "ult":
+                # not (a < b)  ==>  b <= a
+                a, b = inner.args
+                if a.is_const():
+                    self.set_range(b, 0, a.value)
+                elif b.is_const():
+                    self.set_range(a, b.value, (1 << a.width) - 1)
+                else:
+                    self.le.append((b, a))
+            elif inner.op == "eq":
+                self._mine_ne(inner.args[0], inner.args[1])
+            return
+        if op == "or":
+            self._mine_or(fact.args)
+            return
+
+    def _mine_eq(self, a: T.Term, b: T.Term) -> None:
+        if b.is_const():
+            a, b = b, a
+        if not a.is_const():
+            return
+        value = a.value
+        self.set_range(b, value, value)
+        if self._is_word(b):
+            self.meet_bits(b, KnownBits.from_const(value, b.width))
+            # eq(x & m, c): the masked bits of x are known.
+            if b.op == "band" and b.args[1].is_const():
+                self.meet_bits(b.args[0],
+                               KnownBits(b.args[0].width,
+                                         b.args[1].value, value))
+            elif b.op == "band" and b.args[0].is_const():
+                self.meet_bits(b.args[1],
+                               KnownBits(b.args[1].width,
+                                         b.args[0].value, value))
+
+    def _mine_ne(self, a: T.Term, b: T.Term) -> None:
+        """Disequality only shaves range endpoints."""
+        if b.is_const():
+            a, b = b, a
+        if not a.is_const() or not self._is_word(b):
+            return
+        value = a.value
+        lo, hi = self.env.get(b, (0, (1 << b.width) - 1))
+        if lo == value and lo < hi:
+            self.set_range(b, lo + 1, hi)
+        elif hi == value and lo < hi:
+            self.set_range(b, lo, hi - 1)
+
+    def _mine_or(self, disjuncts: Tuple[T.Term, ...]) -> None:
+        """``x == c1 or x == c2 or ...`` pins x into the hull of the
+        constants and the join of their bit patterns."""
+        subject: Optional[T.Term] = None
+        values: List[int] = []
+        for d in disjuncts:
+            if d.op != "eq":
+                return
+            a, b = d.args
+            if b.is_const():
+                a, b = b, a
+            if not a.is_const() or b.is_const():
+                return
+            if subject is None:
+                subject = b
+            elif subject is not b:
+                return
+            values.append(a.value)
+        if subject is None or not self._is_word(subject):
+            return
+        self.set_range(subject, min(values), max(values))
+        kb = KnownBits.from_const(values[0], subject.width)
+        for v in values[1:]:
+            kb = kb.join(KnownBits.from_const(v, subject.width))
+        self.meet_bits(subject, kb)
+
+    # -- relational tightening ----------------------------------------------
+
+    def tighten(self) -> None:
+        """Propagate ``a < b`` / ``a <= b`` pairs through the ranges
+        already recorded (closes transitive chains like
+        ``i < num_words <= N`` into a concrete bound on ``i``)."""
+        for _ in range(_TIGHTEN_ROUNDS):
+            changed = False
+            for a, b in self.lt:
+                blo, bhi = self.env.get(b, (0, (1 << b.width) - 1))
+                alo, ahi = self.env.get(a, (0, (1 << a.width) - 1))
+                if bhi >= 1 and ahi > bhi - 1:
+                    self.set_range(a, alo, bhi - 1)
+                    changed = True
+                if alo + 1 > blo:
+                    self.set_range(b, alo + 1, bhi)
+                    changed = True
+            for a, b in self.le:
+                blo, bhi = self.env.get(b, (0, (1 << b.width) - 1))
+                alo, ahi = self.env.get(a, (0, (1 << a.width) - 1))
+                if ahi > bhi:
+                    self.set_range(a, alo, bhi)
+                    changed = True
+                if alo > blo:
+                    self.set_range(b, alo, bhi)
+                    changed = True
+            if not changed:
+                return
+
+
+def mine_path(path: Tuple[T.Term, ...]) -> Tuple[Dict[T.Term, Range],
+                                                 BitsEnv]:
+    """Mine a path condition into (range env, known-bits env); every
+    entry is a consequence of the conjunction of ``path``."""
+    facts = _Facts()
+    for fact in path:
+        facts.mine(fact)
+    facts.tighten()
+    return facts.env, facts.bits
+
+
+class Prescreener:
+    """The ``prescreen`` hook for `repro.bedrock2.vcgen.VC`.
+
+    Caches mined environments per path-condition tuple: symbolic
+    execution proves many obligations under the same path, and terms are
+    hash-consed, so the tuple is a cheap exact key.
+    """
+
+    def __init__(self) -> None:
+        self.discharged = 0
+        self.attempts = 0
+        self._cache: Dict[Tuple[T.Term, ...],
+                          Tuple[Dict[T.Term, Range], BitsEnv]] = {}
+
+    def __call__(self, state: object, goal: T.Term) -> bool:
+        self.attempts += 1
+        if goal is T.TRUE:
+            # Constant-folded goals (e.g. MMIO obligations on literal
+            # addresses) are proved by construction.
+            self.discharged += 1
+            _PRESCREENED.inc()
+            return True
+        path = tuple(getattr(state, "path", ()))
+        cached = self._cache.get(path)
+        if cached is None:
+            cached = mine_path(path)
+            self._cache[path] = cached
+        env, bits = cached
+        if decide_bool(goal, env=dict(env), bits_env=bits) is True:
+            self.discharged += 1
+            _PRESCREENED.inc()
+            return True
+        _MISSED.inc()
+        return False

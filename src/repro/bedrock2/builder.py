@@ -23,7 +23,8 @@ Statements are built with lowercase combinators and assembled with
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+import sys
+from typing import Optional, Sequence, TypeVar, Union
 
 from .ast_ import (
     Cmd,
@@ -45,6 +46,23 @@ from .ast_ import (
 )
 
 ExprLike = Union["E", Expr, int, str]
+
+_Node = TypeVar("_Node")
+
+
+def _mark(node: _Node) -> _Node:
+    """Attach the eDSL caller's source location to an AST node.
+
+    The AST dataclasses are frozen but not slotted, so a ``loc``
+    attribute (``(filename, lineno)``) can ride along without changing
+    equality or the node structure. Diagnostics from `repro.analysis`
+    use it; everything else ignores it. Best-effort: nodes built outside
+    the combinators (tests, generated code) simply have no ``loc``.
+    """
+    frame = sys._getframe(2)
+    object.__setattr__(node, "loc", (frame.f_code.co_filename,
+                                     frame.f_lineno))
+    return node
 
 
 def _unwrap(e: ExprLike) -> Expr:
@@ -177,31 +195,32 @@ def load4(addr: ExprLike) -> E:
 # -- statements ---------------------------------------------------------------
 
 def skip() -> Cmd:
-    return SSkip()
+    return _mark(SSkip())
 
 
 def set_(name: str, value: ExprLike) -> Cmd:
-    return SSet(name, _unwrap(value))
+    return _mark(SSet(name, _unwrap(value)))
 
 
 def store1(addr: ExprLike, value: ExprLike) -> Cmd:
-    return SStore(1, _unwrap(addr), _unwrap(value))
+    return _mark(SStore(1, _unwrap(addr), _unwrap(value)))
 
 
 def store2(addr: ExprLike, value: ExprLike) -> Cmd:
-    return SStore(2, _unwrap(addr), _unwrap(value))
+    return _mark(SStore(2, _unwrap(addr), _unwrap(value)))
 
 
 def store4(addr: ExprLike, value: ExprLike) -> Cmd:
-    return SStore(4, _unwrap(addr), _unwrap(value))
+    return _mark(SStore(4, _unwrap(addr), _unwrap(value)))
 
 
 def if_(cond: ExprLike, then_: Cmd, else_: Optional[Cmd] = None) -> Cmd:
-    return SIf(_unwrap(cond), then_, else_ if else_ is not None else SSkip())
+    return _mark(SIf(_unwrap(cond), then_,
+                     else_ if else_ is not None else SSkip()))
 
 
 def while_(cond: ExprLike, body: Cmd, spec=None) -> Cmd:
-    return SWhile(_unwrap(cond), body, spec=spec)
+    return _mark(SWhile(_unwrap(cond), body, spec=spec))
 
 
 def block(*cmds: Cmd) -> Cmd:
@@ -209,17 +228,18 @@ def block(*cmds: Cmd) -> Cmd:
 
 
 def call(binds: Sequence[str], func: str, *args: ExprLike) -> Cmd:
-    return SCall(tuple(binds), func, tuple(_unwrap(a) for a in args))
+    return _mark(SCall(tuple(binds), func, tuple(_unwrap(a) for a in args)))
 
 
 def interact(binds: Sequence[str], action: str, *args: ExprLike) -> Cmd:
-    return SInteract(tuple(binds), action, tuple(_unwrap(a) for a in args))
+    return _mark(SInteract(tuple(binds), action,
+                           tuple(_unwrap(a) for a in args)))
 
 
 def stackalloc(name: str, nbytes: int, body: Cmd) -> Cmd:
-    return SStackalloc(name, nbytes, body)
+    return _mark(SStackalloc(name, nbytes, body))
 
 
 def func(name: str, params: Sequence[str], rets: Sequence[str], body: Cmd,
          spec=None) -> Function:
-    return Function(name, tuple(params), tuple(rets), body, spec=spec)
+    return _mark(Function(name, tuple(params), tuple(rets), body, spec=spec))

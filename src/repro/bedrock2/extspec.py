@@ -10,7 +10,7 @@ handle for all values) -- exactly the ∀-vs-∃ split the paper describes.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..logic import terms as T
 from .vcgen import SymEvent, SymState, VC, VerificationError
@@ -18,6 +18,15 @@ from .vcgen import SymEvent, SymState, VC, VerificationError
 
 class SymExtSpec:
     """Base class: no external calls allowed."""
+
+    def action_signature(self, action: str) -> Optional[Tuple[int, int]]:
+        """``(num_args, num_results)`` for a known action, else ``None``.
+
+        Static metadata mirroring `apply`'s dynamic arity checks, so the
+        analyzer (`repro.analysis`) can flag bad external calls without
+        running symbolic execution.
+        """
+        return None
 
     def apply(self, vc: VC, state: SymState, action: str,
               args: Tuple[T.Term, ...], context: str) -> Tuple[T.Term, ...]:
@@ -33,8 +42,14 @@ class MMIOSpec(SymExtSpec):
     alignment, matching the paper's ``nonmem_load`` instance in section 6.2.
     """
 
+    #: action -> (num_args, num_results); kept in sync with `apply`.
+    SIGNATURES = {"MMIOREAD": (1, 1), "MMIOWRITE": (2, 0)}
+
     def __init__(self, ranges: Sequence[Tuple[int, int]]):
         self.ranges = tuple(ranges)
+
+    def action_signature(self, action: str) -> Optional[Tuple[int, int]]:
+        return self.SIGNATURES.get(action)
 
     def is_mmio_addr(self, addr: T.Term) -> T.Term:
         cases = [T.and_(T.ule(T.const(lo), addr), T.ult(addr, T.const(hi)))

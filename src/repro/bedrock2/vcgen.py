@@ -201,16 +201,30 @@ class VC:
     of an exception that aborts the whole run -- one stuck VC must not
     take down a parallel batch of otherwise-decidable obligations. Pass
     ``record_timeouts=False`` to get the old abort-on-timeout behavior.
+
+    ``prescreen`` is an optional ``(state, goal) -> bool`` hook consulted
+    before the solver; returning True means the goal is *proved* under
+    the state's path condition, so the obligation is counted as
+    discharged without a solver query. The hook must be sound -- it may
+    only claim goals that `S.check_valid` would also prove. The standard
+    implementation is `repro.analysis.prescreen.Prescreener` (injected
+    here rather than imported, keeping the Figure-3 layering acyclic).
     """
 
     def __init__(self, max_conflicts: int = 2_000_000,
-                 record_timeouts: bool = True):
+                 record_timeouts: bool = True,
+                 prescreen: Optional[Callable[["SymState", T.Term], bool]] = None):
         self._counter = itertools.count()
         self.max_conflicts = max_conflicts
         self.record_timeouts = record_timeouts
+        self.prescreen = prescreen
         self.obligations_proved = 0
         self.assumptions_made = 0
         self.timeouts: List[str] = []
+
+    def prescreened(self, state: SymState, goal: T.Term) -> bool:
+        """True when the prescreen hook soundly discharges ``goal``."""
+        return self.prescreen is not None and self.prescreen(state, goal)
 
     def fresh(self, hint: str = "v", width: int = 32) -> T.Term:
         name = "%s!%d" % (hint, next(self._counter))
@@ -221,6 +235,10 @@ class VC:
     def prove(self, state: SymState, goal: T.Term, context: str) -> None:
         """Discharge an obligation under the current path condition."""
         with obs.span("vc.prove", cat="vcgen", args={"context": context}):
+            if self.prescreened(state, goal):
+                self.obligations_proved += 1
+                _VCS_PROVED.inc()
+                return
             try:
                 result = S.check_valid(goal, hypotheses=state.path,
                                        max_conflicts=self.max_conflicts)
@@ -300,6 +318,10 @@ class SymExec:
                 continue
             # Symbolic offset: accept if provably in bounds.
             in_bounds = T.ule(offset, T.const(region.size - nbytes))
+            if self.vc.prescreened(state, in_bounds):
+                self.vc.obligations_proved += 1
+                _VCS_PROVED.inc()
+                return region, None, offset
             result = S.check_valid(in_bounds, hypotheses=state.path,
                                    max_conflicts=self.vc.max_conflicts)
             if result.valid:
@@ -649,16 +671,20 @@ def verify_function(program: Program, fname: str, spec: FunctionSpec,
                     ext_spec, contracts: Optional[Dict[str, Contract]] = None,
                     unroll_limit: int = 64,
                     max_conflicts: int = 2_000_000,
-                    record_timeouts: bool = True) -> VerifyReport:
+                    record_timeouts: bool = True,
+                    prescreen: Optional[Callable[[SymState, T.Term], bool]] = None,
+                    ) -> VerifyReport:
     """Verify ``program[fname]`` against ``spec``.
 
     Every feasible symbolic path through the body is explored; `spec.post`
     runs at each exit. Raises `VerificationError` on any failed obligation;
     budget-exceeded obligations are reported per VC in
-    ``VerifyReport.timeouts`` (see `VC`).
+    ``VerifyReport.timeouts`` (see `VC`). ``prescreen`` is forwarded to
+    `VC` (see there for the soundness contract).
     """
     fn = program[fname]
-    vc = VC(max_conflicts=max_conflicts, record_timeouts=record_timeouts)
+    vc = VC(max_conflicts=max_conflicts, record_timeouts=record_timeouts,
+            prescreen=prescreen)
     state = SymState()
     args = tuple(vc.fresh(p) for p in fn.params)
     state.locals = dict(zip(fn.params, args))

@@ -480,12 +480,19 @@ def _doorlock_annotated_program() -> Program:
     return program
 
 
-def run_verify_task(task: str, max_conflicts: int = 4_000_000) -> VerifyReport:
+def run_verify_task(task: str, max_conflicts: int = 4_000_000,
+                    prescreen: bool = True) -> VerifyReport:
     """Verify one function identified by task name (``app:function``).
 
     This is the worker-side entry point of the parallel dispatcher; it is
     also the sequential unit, so ``--jobs 1`` and ``--jobs N`` run the
     exact same code per function.
+
+    ``prescreen`` (default on) installs the abstract-interpretation
+    prescreener (`repro.analysis.prescreen`), which discharges obligations
+    already decided by interval/known-bits reasoning over the path facts
+    before any solver query. It only ever proves valid goals, so the
+    verdict is identical either way; only the solver workload changes.
     """
     app, _, fname = task.partition(":")
     if app == "lightbulb" and fname in _LIGHTBULB_SPECS:
@@ -496,9 +503,14 @@ def run_verify_task(task: str, max_conflicts: int = 4_000_000) -> VerifyReport:
         spec = _DOORLOCK_SPECS[fname]()
     else:
         raise ValueError("unknown verification task %r" % task)
+    hook = None
+    if prescreen:
+        from ..analysis.prescreen import Prescreener
+        hook = Prescreener()
     return verify_function(program, fname, spec, platform_mmio_spec(),
                            contracts=make_contracts(),
-                           max_conflicts=max_conflicts)
+                           max_conflicts=max_conflicts,
+                           prescreen=hook)
 
 
 def _verify_worker(task):
@@ -506,12 +518,12 @@ def _verify_worker(task):
     module-level function so it is importable under fork and spawn)."""
     from ..logic import dispatch
 
-    index, name, max_conflicts = task
+    index, name, max_conflicts, prescreen = task
     with dispatch.TaskEnv() as env:
         report = None
         error = None
         try:
-            report = run_verify_task(name, max_conflicts)
+            report = run_verify_task(name, max_conflicts, prescreen=prescreen)
         except VerificationError as err:
             error = ("VerificationError", err.context, err.detail, err.model)
         except S.SolverTimeout as err:
@@ -520,7 +532,8 @@ def _verify_worker(task):
 
 
 def run_verify_tasks(names, jobs=None, cache=None,
-                     max_conflicts: int = 4_000_000) -> List[VerifyReport]:
+                     max_conflicts: int = 4_000_000,
+                     prescreen: bool = True) -> List[VerifyReport]:
     """Verify the named functions (see `run_verify_task`) in parallel;
     returns their `VerifyReport`s in input order.
 
@@ -533,7 +546,8 @@ def run_verify_tasks(names, jobs=None, cache=None,
     from ..logic import dispatch
 
     jobs = dispatch.default_jobs() if not jobs else jobs
-    tasks = [(i, name, max_conflicts) for i, name in enumerate(names)]
+    tasks = [(i, name, max_conflicts, prescreen)
+             for i, name in enumerate(names)]
     raw = dispatch.run_pool(_verify_worker, tasks, jobs, cache, "verify")
     reports = []
     for _index, report, _, error, _, _, _ in raw:
@@ -547,16 +561,18 @@ def run_verify_tasks(names, jobs=None, cache=None,
 
 
 def _run_tasks(names, max_conflicts: int, jobs: int,
-               cache) -> VerificationRun:
+               cache, prescreen: bool = True) -> VerificationRun:
     run = VerificationRun()
     if jobs is not None and jobs != 1:
         run.reports.extend(run_verify_tasks(names, jobs=jobs, cache=cache,
-                                            max_conflicts=max_conflicts))
+                                            max_conflicts=max_conflicts,
+                                            prescreen=prescreen))
         return run
     previous = S.set_cache(cache) if cache is not None else None
     try:
         for name in names:
-            run.reports.append(run_verify_task(name, max_conflicts))
+            run.reports.append(run_verify_task(name, max_conflicts,
+                                               prescreen=prescreen))
     finally:
         if cache is not None:
             S.set_cache(previous)
@@ -564,24 +580,27 @@ def _run_tasks(names, max_conflicts: int, jobs: int,
 
 
 def verify_all(max_conflicts: int = 4_000_000, jobs: int = 1,
-               cache=None) -> VerificationRun:
+               cache=None, prescreen: bool = True) -> VerificationRun:
     """Verify every lightbulb function against its specification.
 
     ``jobs`` > 1 dispatches the (independent, modular) per-function tasks
     to a process pool; ``cache`` is an optional
     `repro.logic.cache.ProofCache` consulted for every VC, so re-runs of
     unchanged functions skip the solver entirely. Reports come back in
-    the same order either way.
+    the same order either way. ``prescreen`` is documented on
+    `run_verify_task`.
     """
-    return _run_tasks(LIGHTBULB_TASKS, max_conflicts, jobs, cache)
+    return _run_tasks(LIGHTBULB_TASKS, max_conflicts, jobs, cache,
+                      prescreen=prescreen)
 
 
 def verify_doorlock(max_conflicts: int = 4_000_000, jobs: int = 1,
-                    cache=None) -> VerificationRun:
+                    cache=None, prescreen: bool = True) -> VerificationRun:
     """Verify the door-lock application's own functions, *reusing* the
     driver contracts unchanged -- the modular-verification dividend: a new
     app only proves its new code (paper section 2.1's motivation)."""
-    return _run_tasks(DOORLOCK_TASKS, max_conflicts, jobs, cache)
+    return _run_tasks(DOORLOCK_TASKS, max_conflicts, jobs, cache,
+                      prescreen=prescreen)
 
 
 def verify_drain_buggy_fails(max_conflicts: int = 4_000_000) -> VerificationError:

@@ -1,0 +1,406 @@
+"""The static analyzer: seeded-defect fixtures are each caught with
+their documented diagnostic code, shipped programs lint clean (the CI
+gate), the FlatImp face of the framework agrees, and the interval /
+known-bits lattices are sound against the concrete word semantics."""
+
+import random
+
+import pytest
+
+from repro.analysis import LintConfig, lint_program
+from repro.analysis.dataflow import node_loc
+from repro.analysis.domains import AbstractWord, CsPairingSpec, _binop
+from repro.analysis.lint import lint_flat_function, lint_function, render_json
+from repro.bedrock2 import word as W
+from repro.bedrock2.builder import (
+    block,
+    func,
+    if_,
+    interact,
+    lit,
+    load4,
+    set_,
+    skip,
+    stackalloc,
+    store4,
+    var,
+    while_,
+)
+from repro.bedrock2.extspec import MMIOSpec
+from repro.compiler.flatten import flatten_function, flatten_program
+from repro.logic import terms as T
+from repro.logic.intervals import KnownBits, bv_bits, bv_range, decide_bool
+from repro.platform.bus import MMIO_RANGES
+from repro.sw import constants as C
+from repro.sw.doorlock import doorlock_program
+from repro.sw.program import lightbulb_program
+
+CONFIG = LintConfig(
+    mmio_ranges=MMIO_RANGES,
+    ext_spec=MMIOSpec(MMIO_RANGES),
+    cs_pairing=CsPairingSpec(addr=C.SPI_CSMODE_ADDR,
+                             acquire=C.CSMODE_HOLD,
+                             release=C.CSMODE_AUTO),
+)
+
+GPIO_REG = C.GPIO_OUTPUT_VAL_ADDR
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+# ---------------------------------------------------------------------------
+# Seeded defects: each fixture must be caught with its documented code.
+
+
+def test_use_before_def_caught():
+    fn = func("f", [], ["r"], set_("r", var("x") + 1))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A001"]
+    assert "'x'" in diags[0].message
+
+
+def test_unassigned_return_caught():
+    fn = func("f", ["a"], ["r"], skip())
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A001"]
+    assert "return" in diags[0].message
+
+
+def test_assignment_on_one_branch_only_caught():
+    fn = func("f", ["a"], ["r"],
+              block(if_(var("a"), set_("x", 1)),
+                    set_("r", var("x"))))
+    assert "B2A001" in codes(lint_function(fn, CONFIG))
+
+
+def test_dead_store_caught():
+    fn = func("f", [], ["r"],
+              block(set_("x", 1),       # overwritten before any read
+                    set_("x", 2),
+                    set_("r", var("x"))))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A002"]
+    assert "'x'" in diags[0].message
+
+
+def test_unreachable_branch_caught():
+    # a & 0 is provably zero by known-bits, so the then-branch is dead.
+    fn = func("f", ["a"], ["r"],
+              block(if_(var("a") & 0, set_("r", 1), set_("r", 2))))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A003"]
+    assert "then-branch" in diags[0].message
+
+
+def test_unreachable_loop_body_caught():
+    fn = func("f", ["a"], ["r"],
+              block(set_("i", 0),
+                    while_(var("i") & lit(0), set_("i", var("i") + 1)),
+                    set_("r", 0)))
+    diags = lint_function(fn, CONFIG)
+    assert "B2A003" in codes(diags)
+
+
+def test_while_true_is_not_flagged():
+    # An intentionally-infinite server loop is idiomatic, not a defect.
+    fn = func("f", [], [],
+              while_(lit(1), interact([], "MMIOWRITE", lit(GPIO_REG),
+                                      lit(0))))
+    assert lint_function(fn, CONFIG) == []
+
+
+def test_misaligned_store_caught():
+    fn = func("f", ["v"], [], store4(lit(0x8000_0002), var("v")))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A004"]
+
+
+def test_misaligned_symbolic_address_caught():
+    # p is stackalloc'd (4-aligned); p + 2 has bit 1 known set.
+    fn = func("f", ["v"], [],
+              stackalloc("p", 8, store4(var("p") + 2, var("v"))))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A004"]
+
+
+def test_mmio_range_store_caught():
+    fn = func("f", ["v"], [], store4(lit(GPIO_REG), var("v")))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A005"]
+
+
+def test_mmio_range_load_caught():
+    fn = func("f", [], ["r"], set_("r", load4(lit(C.SPI_RXDATA_ADDR))))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A005"]
+
+
+def test_unknown_action_caught():
+    fn = func("f", [], [], interact([], "MMIOCLEAR", lit(GPIO_REG)))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A006"]
+    assert "MMIOCLEAR" in diags[0].message
+
+
+def test_wrong_arity_caught():
+    # MMIOWRITE takes (addr, value) and returns nothing.
+    fn = func("f", [], [], interact([], "MMIOWRITE", lit(GPIO_REG)))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A006"]
+    assert "argument" in diags[0].message
+
+
+def test_missing_bind_caught():
+    # MMIOREAD returns one value; binding none loses it.
+    fn = func("f", [], [], interact([], "MMIOREAD", lit(C.SPI_RXDATA_ADDR)))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A006"]
+
+
+def test_non_mmio_external_address_caught():
+    fn = func("f", [], [], interact([], "MMIOWRITE", lit(0x1000), lit(0)))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A006"]
+    assert "outside" in diags[0].message
+
+
+def test_cs_exit_while_held_caught():
+    fn = func("f", [], [],
+              interact([], "MMIOWRITE", lit(C.SPI_CSMODE_ADDR),
+                       lit(C.CSMODE_HOLD)))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A007"]
+    assert "exit" in diags[0].message
+
+
+def test_cs_double_acquire_caught():
+    acquire = interact([], "MMIOWRITE", lit(C.SPI_CSMODE_ADDR),
+                       lit(C.CSMODE_HOLD))
+    release = interact([], "MMIOWRITE", lit(C.SPI_CSMODE_ADDR),
+                       lit(C.CSMODE_AUTO))
+    fn = func("f", ["a"], [],
+              block(if_(var("a"), acquire, skip()),
+                    interact([], "MMIOWRITE", lit(C.SPI_CSMODE_ADDR),
+                             lit(C.CSMODE_HOLD)),
+                    release))
+    diags = lint_function(fn, CONFIG)
+    assert codes(diags) == ["B2A007"]
+    assert "already held" in diags[0].message
+
+
+def test_paired_acquire_release_is_clean():
+    fn = func("f", [], [],
+              block(interact([], "MMIOWRITE", lit(C.SPI_CSMODE_ADDR),
+                             lit(C.CSMODE_HOLD)),
+                    interact([], "MMIOWRITE", lit(C.SPI_TXDATA_ADDR),
+                             lit(0x55)),
+                    interact([], "MMIOWRITE", lit(C.SPI_CSMODE_ADDR),
+                             lit(C.CSMODE_AUTO))))
+    assert lint_function(fn, CONFIG) == []
+
+
+# ---------------------------------------------------------------------------
+# Locations, suppression, rendering
+
+
+def test_fixture_diagnostics_carry_source_locations():
+    fn = func("f", [], ["r"], set_("r", var("x")))
+    (diag,) = lint_function(fn, CONFIG)
+    assert diag.loc is not None
+    assert diag.loc[0].endswith("test_analysis.py")
+    assert diag.render().startswith(diag.loc[0])
+
+
+def test_builder_attaches_locations():
+    stmt = set_("x", 1)
+    loc = node_loc(stmt)
+    assert loc is not None and loc[0].endswith("test_analysis.py")
+
+
+def test_suppression_by_code_and_by_function():
+    fn = func("f", [], ["r"], set_("r", var("x")))
+    assert lint_function(fn, LintConfig(suppress=frozenset({"B2A001"}))) == []
+    assert lint_function(
+        fn, LintConfig(suppress=frozenset({("B2A001", "f")}))) == []
+    assert lint_function(
+        fn, LintConfig(suppress=frozenset({("B2A001", "g")}))) != []
+
+
+def test_render_json_shape():
+    import json
+
+    fn = func("f", [], ["r"], set_("r", var("x")))
+    doc = json.loads(render_json(lint_function(fn, CONFIG)))
+    assert doc["count"] == 1
+    (finding,) = doc["findings"]
+    assert finding["code"] == "B2A001"
+    assert finding["function"] == "f"
+    assert finding["line"]
+
+
+# ---------------------------------------------------------------------------
+# Shipped programs lint clean (what CI enforces)
+
+
+def test_lightbulb_program_lints_clean():
+    assert lint_program(lightbulb_program(), CONFIG) == []
+
+
+def test_doorlock_program_lints_clean():
+    assert lint_program(doorlock_program(), CONFIG) == []
+
+
+# ---------------------------------------------------------------------------
+# FlatImp face of the framework
+
+
+def test_flat_use_before_def_caught():
+    fn = func("f", [], ["r"], set_("r", var("x") + 1))
+    diags = lint_flat_function(flatten_function(fn))
+    assert "B2A001" in codes(diags)
+
+
+def test_flat_dead_store_caught():
+    fn = func("f", [], ["r"],
+              block(set_("x", 1), set_("x", 2), set_("r", var("x"))))
+    diags = lint_flat_function(flatten_function(fn))
+    assert "B2A002" in codes(diags)
+
+
+@pytest.mark.parametrize("program", [lightbulb_program, doorlock_program])
+def test_flattened_shipped_programs_lint_clean(program):
+    # Flattening must not introduce use-before-def or dead temporaries.
+    flat = flatten_program(program())
+    for name in flat:
+        assert lint_flat_function(flat[name]) == [], name
+
+
+# ---------------------------------------------------------------------------
+# AbstractWord soundness: every binop's abstract result contains the
+# concrete result, for randomized inputs drawn from the abstract values.
+
+_CONCRETE = {
+    "add": W.add, "sub": W.sub, "mul": W.mul, "mulhuu": W.mulhuu,
+    "divu": W.divu, "remu": W.remu, "and": W.and_, "or": W.or_,
+    "xor": W.xor, "slu": W.sll, "sru": W.srl, "srs": W.sra,
+    "ltu": W.ltu, "lts": W.lts, "eq": W.eq,
+}
+
+
+def _random_abstract(rng):
+    """A random AbstractWord plus a concrete member of it."""
+    kind = rng.randrange(3)
+    if kind == 0:
+        value = rng.randrange(1 << 32)
+        return AbstractWord.const(value), value
+    if kind == 1:
+        lo = rng.randrange(1 << 32)
+        hi = rng.randrange(lo, 1 << 32)
+        value = rng.randrange(lo, hi + 1)
+        return AbstractWord(lo, hi), value
+    value = rng.randrange(1 << 32)
+    mask = rng.randrange(1 << 32)
+    return (AbstractWord(0, W.MASK, KnownBits(32, mask, value & mask)),
+            value)
+
+
+def test_abstract_binops_sound():
+    rng = random.Random(1234)
+    for _ in range(4000):
+        op = rng.choice(sorted(_CONCRETE))
+        a, x = _random_abstract(rng)
+        b, y = _random_abstract(rng)
+        if op in ("slu", "sru", "srs") and rng.random() < 0.8:
+            amount = rng.randrange(32)
+            b, y = AbstractWord.const(amount), amount
+        result = _binop(op, a, b)
+        concrete = _CONCRETE[op](x, y)
+        assert result.lo <= concrete <= result.hi, (op, x, y)
+        assert concrete & result.bits.mask == result.bits.value, (op, x, y)
+
+
+def test_abstract_word_join_and_widen_contain_both():
+    rng = random.Random(99)
+    for _ in range(500):
+        a, x = _random_abstract(rng)
+        b, y = _random_abstract(rng)
+        for combined in (a.join(b), a.widen(b)):
+            for value in (x, y):
+                assert combined.lo <= value <= combined.hi
+                assert value & combined.bits.mask == combined.bits.value
+
+
+# ---------------------------------------------------------------------------
+# KnownBits / bv_range soundness over random term DAGs (exercises the
+# sharpened and/or/xor/shift transfer functions in logic.intervals).
+
+_TERM_OPS = [
+    (T.add, W.add), (T.sub, W.sub), (T.mul, W.mul),
+    (T.band, W.and_), (T.bor, W.or_), (T.bxor, W.xor),
+]
+
+
+def _random_term(rng, depth, concretes):
+    """A random 32-bit term over vars x, y plus its concrete value."""
+    if depth == 0 or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            name = rng.choice(sorted(concretes))
+            return T.var(name, 32), concretes[name]
+        value = rng.randrange(1 << 32)
+        return T.const(value, 32), value
+    if rng.random() < 0.25:
+        build, model = rng.choice([(T.shl, W.sll), (T.lshr, W.srl),
+                                   (T.ashr, W.sra)])
+        sub, x = _random_term(rng, depth - 1, concretes)
+        amount = rng.randrange(32)
+        return build(sub, T.const(amount, 32)), model(x, amount)
+    build, model = rng.choice(_TERM_OPS)
+    lhs, x = _random_term(rng, depth - 1, concretes)
+    rhs, y = _random_term(rng, depth - 1, concretes)
+    return build(lhs, rhs), model(x, y)
+
+
+def test_bv_range_and_bits_sound_on_random_dags():
+    rng = random.Random(4321)
+    for _ in range(1500):
+        x = rng.randrange(1 << 32)
+        y = rng.randrange(1 << 32)
+        lo = rng.randrange(x + 1)
+        hi = rng.randrange(x, 1 << 32)
+        env = {T.var("x", 32): (lo, hi)}
+        term, concrete = _random_term(rng, 3, {"x": x, "y": y})
+        rlo, rhi = bv_range(term, env=dict(env))
+        assert rlo <= concrete <= rhi, (term, concrete)
+        kb = bv_bits(term, env=dict(env))
+        assert concrete & kb.mask == kb.value, (term, concrete)
+
+
+def test_bv_range_uses_known_bits_for_masks():
+    # x & 7 is within [0, 7] whatever x is -- the precision the dead-code
+    # and alignment checks rely on.
+    x = T.var("x", 32)
+    assert bv_range(T.band(x, T.const(7, 32))) == (0, 7)
+    assert bv_range(T.bor(T.band(x, T.const(0xF0, 32)),
+                          T.const(1, 32)))[1] <= 0xF1
+    assert bv_range(T.lshr(x, T.const(24, 32))) == (0, 0xFF)
+    assert bv_range(T.shl(x, T.const(30, 32)))[0] == 0
+
+
+def test_decide_bool_with_env():
+    x = T.var("x", 32)
+    env = {x: (0, 9)}
+    assert decide_bool(T.ult(x, T.const(10, 32)), env=dict(env)) is True
+    assert decide_bool(T.ult(T.const(20, 32), x), env=dict(env)) is False
+    assert decide_bool(T.eq(T.band(x, T.const(1, 32)),
+                            T.const(2, 32))) is False
+    assert decide_bool(T.ult(x, T.const(5, 32)), env=dict(env)) is None
+
+
+def test_knownbits_from_range_and_conflicts():
+    kb = KnownBits.from_range(0x100, 0x10F, 32)
+    assert kb.mask & 0xFFFFFF00 == 0xFFFFFF00
+    assert kb.value & 0xFFFFFF00 == 0x100
+    assert KnownBits.from_const(3, 32).conflicts(KnownBits.from_const(5, 32))
+    assert not KnownBits.top(32).conflicts(KnownBits.from_const(5, 32))

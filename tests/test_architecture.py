@@ -27,7 +27,12 @@ ALLOWED = {
     "compiler": {"bedrock2", "riscv"},
     "kami": {"bedrock2", "riscv"},
     "platform": {"bedrock2", "riscv", "traces"},
-    "sw": {"bedrock2", "compiler", "logic", "platform", "traces", "riscv"},
+    # The static analyzer reads programs (AST + flat IR) and reuses the
+    # logic layer's interval/known-bits lattices; nothing below it may
+    # import it back (vcgen consumes the prescreener by injection).
+    "analysis": {"bedrock2", "compiler", "logic"},
+    "sw": {"analysis", "bedrock2", "compiler", "logic", "platform",
+           "traces", "riscv"},
     "core": {"bedrock2", "compiler", "kami", "logic", "platform", "riscv",
              "sw", "traces"},
 }

@@ -81,6 +81,28 @@ def test_cli_verify():
     assert code == 0
     assert "verified lan9250_drain" in out
     assert "buggy drain fails" in out
+    assert "prescreen:" in out
+
+
+def test_cli_verify_no_prescreen():
+    code, out = run_cli("verify", "--no-prescreen")
+    assert code == 0
+    assert "verified lan9250_drain" in out
+    assert "prescreen:" not in out
+
+
+def test_cli_lint():
+    code, out = run_cli("lint")
+    assert code == 0
+    assert "no findings" in out
+
+
+def test_cli_lint_json():
+    import json
+
+    code, out = run_cli("lint", "--app", "lightbulb", "--format", "json")
+    assert code == 0
+    assert json.loads(out) == {"findings": [], "count": 0}
 
 
 def test_cli_end2end():
