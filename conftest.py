@@ -3,9 +3,20 @@
 The execution environment has no network and no ``wheel`` package, so
 ``pip install -e .`` cannot build a PEP-660 editable wheel. Putting the
 source tree on ``sys.path`` here gives the same effect for pytest runs.
+
+``REPRO_MUTATION=<name>`` activates one `repro.fuzz.mutate` catalog
+mutation for the whole test process: mutation scoring
+(``python -m repro fuzz --mutation-tier1``) runs the fast tier-1 subset
+under each mutation this way and counts failures as kills.
 """
 
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+_MUTATION = os.environ.get("REPRO_MUTATION")
+if _MUTATION:
+    from repro.fuzz.mutate import activate
+
+    activate(_MUTATION)

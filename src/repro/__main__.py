@@ -6,6 +6,7 @@ Wraps the library's main entry points for interactive exploration:
 * ``lint``        -- static analysis of the Bedrock2 programs (B2Axxx codes)
 * ``check``       -- the per-interface integration checks (Figure 3)
 * ``end2end``     -- run the end-to-end theorem checker with packets
+* ``fuzz``        -- differential fuzzing of all execution layers
 * ``bench``       -- the §7.2.1 latency decomposition
 * ``stats``       -- run a verify+end2end workload, print all obs counters
 * ``disasm``      -- disassemble the compiled lightbulb (or doorlock)
@@ -180,6 +181,127 @@ def cmd_end2end(args) -> int:
     return 0 if result.ok else 1
 
 
+def _print_layer_timing() -> None:
+    from . import obs
+    from .fuzz.oracle import LAYERS
+
+    rows = []
+    for layer in LAYERS:
+        runs = obs.counter("fuzz.layer.%s.runs" % layer).value
+        micros = obs.counter("fuzz.layer.%s.micros" % layer).value
+        if runs:
+            rows.append((layer, runs, micros / 1e6, micros / runs / 1e3))
+    if rows:
+        print("%-16s %8s %10s %12s" % ("layer", "runs", "seconds",
+                                       "ms/program"))
+        for layer, runs, secs, ms in rows:
+            print("%-16s %8d %10.2f %12.3f" % (layer, runs, secs, ms))
+
+
+def cmd_fuzz(args) -> int:
+    import json as json_mod
+
+    from .fuzz.generator import PROFILES
+    from .fuzz.oracle import run_campaign
+
+    _obs_start(args)
+    if args.jobs == 0:
+        from .logic.dispatch import default_jobs
+
+        args.jobs = default_jobs()
+
+    if args.replay:
+        from .fuzz.shrink import replay_file
+
+        result = replay_file(args.replay)
+        print("%s: %s (expected %s, got %s)"
+              % (result["path"],
+                 "reproduced" if result["ok"] else "FAILED",
+                 result["expected"], result["got"]))
+        _obs_finish(args)
+        return 0 if result["ok"] else 1
+
+    if args.mutation_score or args.mutation_tier1:
+        from .fuzz.mutate import score_differential, score_tier1
+
+        exit_code = 0
+        if args.mutation_score:
+            report = score_differential(jobs=args.jobs)
+            print("differential-oracle mutation score:")
+            for name in sorted(report["mutations"]):
+                entry = report["mutations"][name]
+                print("  %-28s %-12s %s" % (
+                    name, entry["layer"],
+                    "killed by seed %d" % entry["killed_by_seed"]
+                    if entry["killed"] else "SURVIVED"))
+            print("killed %d/%d (%.0f%%)"
+                  % (report["killed"], report["total"],
+                     100 * report["kill_rate"]))
+            if report["killed"] != report["total"]:
+                exit_code = 1
+        if args.mutation_tier1:
+            report = score_tier1()
+            print("tier-1 test-suite mutation score:")
+            for name in sorted(report["mutations"]):
+                entry = report["mutations"][name]
+                print("  %-28s %-12s %s" % (
+                    name, entry["layer"],
+                    "killed" if entry["killed"] else "SURVIVED"))
+            print("killed %d/%d (%.0f%%)"
+                  % (report["killed"], report["total"],
+                     100 * report["kill_rate"]))
+            if report["killed"] != report["total"]:
+                exit_code = 1
+        _obs_finish(args)
+        return exit_code
+
+    config = PROFILES[args.profile]
+    seeds = list(range(args.seed_start, args.seed_start + args.seeds))
+    report = run_campaign(seeds, config=config, mutation=args.mutate,
+                          logic_sample=args.logic_sample, jobs=args.jobs,
+                          time_budget=args.time_budget)
+    summary = report["summary"]
+    if args.json:
+        with open(args.json, "w") as fh:
+            json_mod.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print("fuzz: %d program(s), %d divergence(s), %d invalid, "
+          "logic obligations %d checked / %d failed"
+          % (summary["programs"], summary["divergences"], summary["invalid"],
+             summary["logic_checked"], summary["logic_failed"]))
+    _print_layer_timing()
+
+    divergent = [r for r in report["seeds"] if r["status"] == "divergence"]
+    for entry in divergent[:10]:
+        print("  seed %d: %s divergence in %s: %s"
+              % (entry["seed"], entry["divergence"]["kind"],
+                 entry["divergence"]["layer"], entry["divergence"]["detail"]))
+    if divergent and args.shrink:
+        from .fuzz.generator import generate_program
+        from .fuzz.shrink import save_reproducer, shrink_reproducer
+
+        entry = divergent[0]
+        program = generate_program(entry["seed"], config)
+        shrunk, stats = shrink_reproducer(program, entry["divergence"],
+                                          mutation=args.mutate)
+        path = save_reproducer(args.corpus, entry["seed"], shrunk,
+                               entry["divergence"], mutation=args.mutate,
+                               stats=stats)
+        print("shrunk seed %d: %d -> %d statements (%d predicate evals); "
+              "saved %s" % (entry["seed"], stats["original_stmts"],
+                            stats["shrunk_stmts"], stats["evals"], path))
+    _obs_finish(args)
+    if args.mutate is not None:
+        # Triage mode: success means the oracle *caught* the mutation.
+        if divergent:
+            print("mutation %r killed" % args.mutate)
+            return 0
+        print("mutation %r SURVIVED %d seed(s)" % (args.mutate,
+                                                   summary["programs"]))
+        return 1
+    return 1 if (summary["divergences"] or summary["invalid"]) else 0
+
+
 def cmd_bench(args) -> int:
     from .core.timing import factor_decomposition
 
@@ -274,6 +396,8 @@ def cmd_demo(args) -> int:
 
 
 def main(argv=None) -> int:
+    from .fuzz.generator import PROFILES
+
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -307,7 +431,9 @@ def main(argv=None) -> int:
                         "function (repeatable)")
     add_trace_out(p)
     sub.add_parser("check", help="run the integration checks")
-    p = sub.add_parser("end2end", help="end-to-end theorem with fuzzing")
+    p = sub.add_parser("end2end",
+                       help="check the end-to-end theorem on (adversarial) "
+                            "packet streams")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--seeds", metavar="S1,S2,...", default=None,
                    help="run an adversarial sweep over many seeds "
@@ -319,6 +445,39 @@ def main(argv=None) -> int:
                    help="execution units (instructions or Kami steps)")
     p.add_argument("--processor", choices=("isa", "kami-spec", "p4mm"),
                    default="isa")
+    add_trace_out(p)
+    p = sub.add_parser("fuzz",
+                       help="differential fuzzing: co-simulate generated "
+                            "programs on every execution layer")
+    p.add_argument("--seeds", type=int, default=50, metavar="N",
+                   help="number of generated programs (default 50)")
+    p.add_argument("--seed-start", type=int, default=0, metavar="K",
+                   help="first seed (seeds K..K+N-1 are used)")
+    p.add_argument("--time-budget", type=float, default=None, metavar="S",
+                   help="stop launching new programs after S seconds")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="parallel worker processes (0 = one per core)")
+    p.add_argument("--profile", choices=sorted(PROFILES), default="default",
+                   help="generator size profile (small = smoke tests)")
+    p.add_argument("--logic-sample", type=int, default=5, metavar="N",
+                   help="cross-check vcgen obligations on the first N seeds")
+    p.add_argument("--shrink", action="store_true",
+                   help="shrink the first divergence into fuzz-corpus/")
+    p.add_argument("--corpus", metavar="DIR", default="fuzz-corpus",
+                   help="corpus directory for shrunk reproducers")
+    p.add_argument("--mutate", metavar="NAME", default=None,
+                   help="inject one catalog mutation and expect the oracle "
+                        "to kill it (see docs/fuzzing.md)")
+    p.add_argument("--mutation-score", action="store_true",
+                   help="kill rate of the differential oracle over the "
+                        "whole mutation catalog")
+    p.add_argument("--mutation-tier1", action="store_true",
+                   help="kill rate of the repo's own fast test subset")
+    p.add_argument("--replay", metavar="FILE", default=None,
+                   help="replay one fuzz-corpus file and check it still "
+                        "reproduces")
+    p.add_argument("--json", metavar="OUT", default=None,
+                   help="write the deterministic campaign report as JSON")
     add_trace_out(p)
     p = sub.add_parser("bench", help="latency decomposition (§7.2.1)")
     add_trace_out(p)
@@ -339,6 +498,7 @@ def main(argv=None) -> int:
         "lint": cmd_lint,
         "check": cmd_check,
         "end2end": cmd_end2end,
+        "fuzz": cmd_fuzz,
         "bench": cmd_bench,
         "stats": cmd_stats,
         "disasm": cmd_disasm,

@@ -15,13 +15,13 @@ harness feeds malicious packet streams, which is how the security reading
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..fuzz.generator import adversarial_frames
 from ..kami.refinement import build_pipelined_system, build_spec_system
-from ..platform.net import adversarial_stream, is_valid_command
+from ..platform.net import is_valid_command
 from ..riscv.machine import RiscvMachine
 from ..sw.program import Platform, compiled_lightbulb, make_platform
 from ..sw.specs import good_hl_trace
@@ -168,9 +168,13 @@ def run_end_to_end(frames: Sequence[Tuple[int, bytes]] = (),
 def run_adversarial(seed: int, n_frames: int = 12,
                     processor: str = "isa",
                     max_units: int = 600_000) -> EndToEndResult:
-    """Fuzz the theorem: a pseudorandom adversarial packet stream."""
-    rng = random.Random(seed)
-    stream = adversarial_stream(rng, n_frames)
+    """Fuzz the theorem: a pseudorandom adversarial packet stream.
+
+    The stream comes from `repro.fuzz.generator.adversarial_frames`, the
+    repo's single RNG discipline -- the same seed produces the same
+    stimulus here and under ``python -m repro fuzz``.
+    """
+    stream = adversarial_frames(seed, n_frames)
     spacing = max(1, (max_units // 2_000) // (n_frames + 1))
     frames = [(5 + i * spacing, f) for i, f in enumerate(stream)]
     return run_end_to_end(frames=frames, processor=processor,

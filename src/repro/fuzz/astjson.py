@@ -1,0 +1,139 @@
+"""JSON serialization of the Bedrock2 AST (corpus files, replay).
+
+Shrunk divergence reproducers live in ``fuzz-corpus/`` as plain JSON so
+they can be diffed, reviewed, and replayed without pickling concerns.
+Expressions and commands are tagged lists (compact and stable under
+``json.dumps(..., sort_keys=True)``); a program is a name -> function
+object map. ``SSeq`` spines are flattened into a single ``["seq", ...]``
+node for readability and rebuilt with `repro.bedrock2.ast_.seq`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..bedrock2.ast_ import (
+    Cmd,
+    ELit,
+    ELoad,
+    EOp,
+    EVar,
+    Expr,
+    Function,
+    Program,
+    SCall,
+    SIf,
+    SInteract,
+    SSeq,
+    SSet,
+    SSkip,
+    SStackalloc,
+    SStore,
+    SWhile,
+    seq,
+)
+
+
+def expr_to_json(e: Expr) -> List[Any]:
+    if isinstance(e, ELit):
+        return ["lit", e.value]
+    if isinstance(e, EVar):
+        return ["var", e.name]
+    if isinstance(e, ELoad):
+        return ["load", e.size, expr_to_json(e.addr)]
+    if isinstance(e, EOp):
+        return ["op", e.op, expr_to_json(e.lhs), expr_to_json(e.rhs)]
+    raise TypeError("not an expression: %r" % (e,))
+
+
+def expr_from_json(doc: List[Any]) -> Expr:
+    tag = doc[0]
+    if tag == "lit":
+        return ELit(doc[1])
+    if tag == "var":
+        return EVar(doc[1])
+    if tag == "load":
+        return ELoad(doc[1], expr_from_json(doc[2]))
+    if tag == "op":
+        return EOp(doc[1], expr_from_json(doc[2]), expr_from_json(doc[3]))
+    raise ValueError("bad expression tag %r" % (tag,))
+
+
+def _stmt_list(c: Cmd) -> List[Cmd]:
+    out: List[Cmd] = []
+    node = c
+    while isinstance(node, SSeq):
+        out.append(node.first)
+        node = node.rest
+    out.append(node)
+    return out
+
+
+def cmd_to_json(c: Cmd) -> List[Any]:
+    if isinstance(c, SSkip):
+        return ["skip"]
+    if isinstance(c, SSet):
+        return ["set", c.name, expr_to_json(c.value)]
+    if isinstance(c, SStore):
+        return ["store", c.size, expr_to_json(c.addr), expr_to_json(c.value)]
+    if isinstance(c, SStackalloc):
+        return ["stackalloc", c.name, c.nbytes, cmd_to_json(c.body)]
+    if isinstance(c, SIf):
+        return ["if", expr_to_json(c.cond), cmd_to_json(c.then_),
+                cmd_to_json(c.else_)]
+    if isinstance(c, SWhile):
+        return ["while", expr_to_json(c.cond), cmd_to_json(c.body)]
+    if isinstance(c, SSeq):
+        return ["seq"] + [cmd_to_json(s) for s in _stmt_list(c)]
+    if isinstance(c, SCall):
+        return ["call", list(c.binds), c.func,
+                [expr_to_json(a) for a in c.args]]
+    if isinstance(c, SInteract):
+        return ["interact", list(c.binds), c.action,
+                [expr_to_json(a) for a in c.args]]
+    raise TypeError("not a command: %r" % (c,))
+
+
+def cmd_from_json(doc: List[Any]) -> Cmd:
+    tag = doc[0]
+    if tag == "skip":
+        return SSkip()
+    if tag == "set":
+        return SSet(doc[1], expr_from_json(doc[2]))
+    if tag == "store":
+        return SStore(doc[1], expr_from_json(doc[2]), expr_from_json(doc[3]))
+    if tag == "stackalloc":
+        return SStackalloc(doc[1], doc[2], cmd_from_json(doc[3]))
+    if tag == "if":
+        return SIf(expr_from_json(doc[1]), cmd_from_json(doc[2]),
+                   cmd_from_json(doc[3]))
+    if tag == "while":
+        return SWhile(expr_from_json(doc[1]), cmd_from_json(doc[2]))
+    if tag == "seq":
+        return seq(*[cmd_from_json(s) for s in doc[1:]])
+    if tag == "call":
+        return SCall(tuple(doc[1]), doc[2],
+                     tuple(expr_from_json(a) for a in doc[3]))
+    if tag == "interact":
+        return SInteract(tuple(doc[1]), doc[2],
+                         tuple(expr_from_json(a) for a in doc[3]))
+    raise ValueError("bad command tag %r" % (tag,))
+
+
+def program_to_json(program: Program) -> dict:
+    return {
+        name: {
+            "params": list(fn.params),
+            "rets": list(fn.rets),
+            "body": cmd_to_json(fn.body),
+        }
+        for name, fn in program.items()
+    }
+
+
+def program_from_json(doc: dict) -> Program:
+    return {
+        name: Function(name, tuple(fd["params"]), tuple(fd["rets"]),
+                       cmd_from_json(fd["body"]))
+        for name, fd in doc.items()
+    }

@@ -1,0 +1,330 @@
+"""Seeded, well-formed Bedrock2 program generator.
+
+Programs are built through the eDSL (`repro.bedrock2.builder`) so every
+statement carries a source location for the lint/analysis machinery, and
+they are *UB-free by construction* so that a divergence between layers
+can only mean a bug in a layer, never a program walking off the map:
+
+* every load/store address is ``SCRATCH_BASE + (expr & mask)`` where the
+  mask keeps the access both in-bounds and aligned for its size;
+* external calls target the synthetic MMIO device at `DEV_BASE`, always
+  4-byte aligned and in-range;
+* loops are fuel-bounded: each nesting depth owns a reserved counter
+  variable (``f0``, ``f1``, ...) that bodies never assign, initialized
+  from a literal and decremented exactly once per iteration;
+* stackalloc blocks initialize every word before any load, and the
+  pointer never escapes into data (its value differs between the
+  interpreters and the compiled stack, so leaking it would be a false
+  divergence);
+* every variable is assigned before use; helper calls are straight-line
+  and acyclic.
+
+Each generated ``main`` ends with a fixed epilogue that guarantees a
+kill surface for the whole mutation catalog (`repro.fuzz.mutate`): a
+``sub``/``ltu``/``eq`` checksum with operand patterns that distinguish
+the mutated lowerings, a ``store4``+``store1`` pair into the same word
+(byte-enable bugs), a bounded loop (branch-offset bugs), and a final
+MMIO write publishing the checksum (so pure-register corruption still
+reaches the trace).
+
+This module is also the single RNG discipline for the repo's fuzzing:
+`adversarial_frames` seeds the `end2end --seeds` packet streams, so one
+seed means one behavior across both commands.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, asdict
+from typing import List, Optional, Tuple, Union
+
+from ..bedrock2.ast_ import EOp, Program
+from ..bedrock2.builder import (
+    E,
+    block,
+    call,
+    func,
+    if_,
+    interact,
+    lit,
+    load1,
+    load2,
+    load4,
+    set_,
+    stackalloc,
+    store1,
+    store2,
+    store4,
+    var,
+    while_,
+)
+
+#: Scratch data region shared by every execution layer: inside RAM on the
+#: machine/Kami side (image at 0 never grows this far), its own owned
+#: region on the interpreter side.
+SCRATCH_BASE = 0x8000
+SCRATCH_SIZE = 256
+
+#: Synthetic MMIO device: outside RAM in every layer.
+DEV_BASE = 0x4000_0000
+DEV_WORDS = 16
+DEV_SIZE = DEV_WORDS * 4
+
+#: Address masks keeping scratch accesses in-bounds *and* aligned.
+_SIZE_MASK = {1: 0xFF, 2: 0xFE, 4: 0xFC}
+
+_INTERESTING_LITERALS = (
+    0, 1, 2, 3, 4, 7, 8, 16, 0xFF, 0x100, 0xFFFF,
+    0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 0xAAAAAAAA, 0x12345678,
+)
+
+_BINOP_POOL = (
+    "add", "sub", "mul", "mulhuu", "divu", "remu",
+    "and", "or", "xor", "sru", "slu", "srs",
+    "lts", "ltu", "eq",
+)
+
+
+def rng_for(seed: int) -> random.Random:
+    """The one seeding discipline: an explicit `random.Random` per seed.
+
+    Only integer seeds (string/tuple seeding would depend on
+    ``PYTHONHASHSEED`` and break cross-process determinism)."""
+    return random.Random(int(seed))
+
+
+def adversarial_frames(seed: int, n_frames: int) -> List[bytes]:
+    """Adversarial packet stream for `repro.core.end2end`, derived from
+    the same RNG discipline as program generation."""
+    from ..platform.net import adversarial_stream
+
+    return adversarial_stream(rng_for(seed), n_frames)
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs of the program generator; all sizes are small on purpose --
+    the pipelined Kami processor is the slow layer, and short programs
+    shrink better."""
+
+    n_vars: int = 4
+    max_depth: int = 2          # if/while nesting
+    block_stmts: Tuple[int, int] = (2, 5)
+    expr_depth: int = 3
+    max_loop_iters: int = 4
+    max_helpers: int = 2
+    allow_stackalloc: bool = True
+    two_rets: bool = True
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Optional[dict]) -> "GenConfig":
+        if doc is None:
+            return cls()
+        doc = dict(doc)
+        if "block_stmts" in doc:
+            doc["block_stmts"] = tuple(doc["block_stmts"])
+        return cls(**doc)
+
+
+#: Reduced profile for smoke tests and the byte-identical-report test:
+#: no nesting beyond one level, tiny loops, no helpers.
+SMALL_CONFIG = GenConfig(n_vars=3, max_depth=1, block_stmts=(1, 3),
+                         expr_depth=2, max_loop_iters=2, max_helpers=0,
+                         allow_stackalloc=False, two_rets=False)
+
+PROFILES = {"default": GenConfig(), "small": SMALL_CONFIG}
+
+
+def _binop(op: str, a: E, b: E) -> E:
+    return E(EOp(op, a.node, b.node))
+
+
+class _Generator:
+    def __init__(self, rng: random.Random, config: GenConfig):
+        self.rng = rng
+        self.config = config
+        self.vars = ["v%d" % i for i in range(config.n_vars)]
+        self.helpers: List[Tuple[str, int]] = []  # (name, arity)
+
+    # -- expressions ---------------------------------------------------------
+
+    def literal(self) -> E:
+        rng = self.rng
+        if rng.random() < 0.6:
+            return lit(rng.choice(_INTERESTING_LITERALS))
+        return lit(rng.getrandbits(32))
+
+    def expr(self, depth: Optional[int] = None) -> E:
+        rng = self.rng
+        if depth is None:
+            depth = self.config.expr_depth
+        if depth <= 0 or rng.random() < 0.3:
+            if self.vars and rng.random() < 0.6:
+                return var(rng.choice(self.vars))
+            return self.literal()
+        kind = rng.random()
+        if kind < 0.85:
+            return _binop(rng.choice(_BINOP_POOL),
+                          self.expr(depth - 1), self.expr(depth - 1))
+        size = rng.choice((1, 2, 4))
+        return self.scratch_load(size, depth - 1)
+
+    def scratch_addr(self, size: int, depth: int = 1) -> E:
+        """In-bounds, aligned scratch address: base + (expr & mask)."""
+        return lit(SCRATCH_BASE) + (self.expr(depth) & lit(_SIZE_MASK[size]))
+
+    def scratch_load(self, size: int, depth: int = 1) -> E:
+        load = {1: load1, 2: load2, 4: load4}[size]
+        return load(self.scratch_addr(size, depth))
+
+    def dev_addr(self) -> E:
+        rng = self.rng
+        if rng.random() < 0.7:
+            return lit(DEV_BASE + 4 * rng.randrange(DEV_WORDS))
+        return lit(DEV_BASE) + (self.expr(1) & lit(DEV_SIZE - 4))
+
+    # -- statements ----------------------------------------------------------
+
+    def stmt(self, depth: int):
+        rng = self.rng
+        kinds = ["set", "set", "store", "mmio_read", "mmio_write"]
+        if depth < self.config.max_depth:
+            kinds += ["if", "if", "while"]
+        if self.helpers:
+            kinds.append("call")
+        kind = rng.choice(kinds)
+        if kind == "set":
+            return set_(rng.choice(self.vars), self.expr())
+        if kind == "store":
+            size = rng.choice((1, 2, 4))
+            store = {1: store1, 2: store2, 4: store4}[size]
+            return store(self.scratch_addr(size), self.expr())
+        if kind == "mmio_read":
+            return interact([rng.choice(self.vars)], "MMIOREAD",
+                            self.dev_addr())
+        if kind == "mmio_write":
+            return interact([], "MMIOWRITE", self.dev_addr(), self.expr())
+        if kind == "if":
+            then_ = self.gen_block(depth + 1)
+            else_ = self.gen_block(depth + 1) if rng.random() < 0.5 else None
+            return if_(self.expr(), then_, else_)
+        if kind == "while":
+            counter = "f%d" % depth
+            iters = rng.randint(1, self.config.max_loop_iters)
+            body = self.gen_block(depth + 1)
+            return block(
+                set_(counter, lit(iters)),
+                while_(var(counter), block(
+                    body,
+                    set_(counter, var(counter) - lit(1)),
+                )),
+            )
+        helper, arity = rng.choice(self.helpers)
+        return call([rng.choice(self.vars)], helper,
+                    *[self.expr(1) for _ in range(arity)])
+
+    def gen_block(self, depth: int):
+        lo, hi = self.config.block_stmts
+        return block(*[self.stmt(depth) for _ in range(self.rng.randint(lo, hi))])
+
+    def stackalloc_block(self):
+        """A stackalloc whose pointer never escapes: every word is
+        initialized before any load, all offsets are constant."""
+        rng = self.rng
+        nwords = rng.choice((1, 2, 4))
+        ptr = "p0"
+        init = [store4(var(ptr) + lit(4 * i), self.expr(1))
+                for i in range(nwords)]
+        uses = [set_(rng.choice(self.vars),
+                     load4(var(ptr) + lit(4 * rng.randrange(nwords)))
+                     + self.expr(1))
+                for _ in range(rng.randint(1, 2))]
+        return stackalloc(ptr, 4 * nwords, block(*(init + uses)))
+
+    # -- functions -----------------------------------------------------------
+
+    def helper_function(self, name: str):
+        """Straight-line helper: params in, one ret out, optional MMIO."""
+        rng = self.rng
+        params = ("hx", "hy")[:rng.randint(1, 2)]
+        saved_vars = self.vars
+        self.vars = list(params)
+        body = [set_("ht", self.expr(2))]
+        self.vars.append("ht")
+        if rng.random() < 0.4:
+            body.append(interact(["ht"], "MMIOREAD", self.dev_addr()))
+        if rng.random() < 0.4:
+            body.append(store4(self.scratch_addr(4), self.expr(1)))
+        body.append(set_("hr", self.expr(2)))
+        self.vars = saved_vars
+        return func(name, params, ("hr",), block(*body))
+
+    def epilogue(self):
+        """Deterministic mutation-kill surface; see the module docstring."""
+        rng = self.rng
+        v = [var(name) for name in self.vars]
+        word_off = 4 * rng.randrange(SCRATCH_SIZE // 4)
+        word_addr = lit(SCRATCH_BASE + word_off)
+        nonzero = lit(rng.randint(1, 0xFF))
+        # sub with a nonzero constant (a+c != a-c for c not in {0, 2^31}),
+        # ltu whose operands have opposite signedness readings, eq of
+        # identical operands (1, but 0 once the sltiu normalization is
+        # dropped) -- each mutated lowering changes this checksum.
+        checksum = _binop("sub", v[0], nonzero)
+        checksum = _binop("add", checksum,
+                          _binop("ltu", lit(1), v[1 % len(v)] | lit(0x80000000)))
+        checksum = _binop("add", checksum, _binop("eq", v[0], v[0]))
+        stmts = [
+            interact([self.vars[0]], "MMIOREAD",
+                     lit(DEV_BASE + 4 * rng.randrange(DEV_WORDS))),
+            # store4 then a sub-word overwrite of the same word: a
+            # byte-enable bug wipes the surviving 0xFF bytes.
+            store4(word_addr, self.expr(1) | lit(0xFF0000FF)),
+            store1(word_addr, self.expr(1)),
+            store2(lit(SCRATCH_BASE + (word_off + 4) % SCRATCH_SIZE),
+                   self.expr(1)),
+            # A loop that always runs twice: branch-offset mutations
+            # derail it even when the random body had no loop.
+            set_("f9", lit(2)),
+            while_(var("f9"), block(
+                set_(self.vars[0], v[0] + checksum),
+                set_("f9", var("f9") - lit(1)),
+            )),
+            interact([], "MMIOWRITE",
+                     lit(DEV_BASE + 4 * rng.randrange(DEV_WORDS)),
+                     v[0] ^ checksum),
+            set_("r0", v[0] + checksum),
+        ]
+        if self.config.two_rets:
+            stmts.append(set_("r1", load4(word_addr) ^ v[len(v) - 1]))
+        return stmts
+
+    def program(self) -> Program:
+        rng = self.rng
+        program: Program = {}
+        n_helpers = rng.randint(0, self.config.max_helpers)
+        for i in range(n_helpers):
+            name = "aux%d" % i
+            program[name] = self.helper_function(name)
+            self.helpers.append((name, len(program[name].params)))
+        prologue = [set_(name, self.literal()) for name in self.vars]
+        body = [self.gen_block(0)]
+        if self.config.allow_stackalloc and rng.random() < 0.5:
+            body.append(self.stackalloc_block())
+            body.append(self.gen_block(0))
+        rets = ("r0", "r1") if self.config.two_rets else ("r0",)
+        program["main"] = func(
+            "main", (), rets,
+            block(*(prologue + body + self.epilogue())))
+        return program
+
+
+def generate_program(seed_or_rng: Union[int, random.Random],
+                     config: Optional[GenConfig] = None) -> Program:
+    """Generate one UB-free Bedrock2 program (deterministic per seed)."""
+    rng = (seed_or_rng if isinstance(seed_or_rng, random.Random)
+           else rng_for(seed_or_rng))
+    return _Generator(rng, config or GenConfig()).program()

@@ -1,0 +1,414 @@
+"""Deterministic delta-debugging shrinker + the fuzz-corpus store.
+
+Given a diverging program, `shrink_reproducer` greedily reduces it while
+a predicate ("still diverges in the same layer, under the same injected
+mutation") holds, using three deterministic passes run to fixpoint under
+an evaluation budget:
+
+* **statement deletion** -- ddmin-style chunk removal inside every
+  statement sequence, at every nesting depth;
+* **structural replacement** -- an ``if`` becomes one of its arms, a
+  ``while`` its body (or ``skip``), a ``stackalloc`` disappears, unused
+  helper functions are dropped;
+* **expression simplification** -- an expression becomes one of its
+  subexpressions, ``0``/``1``, or (for literals) its half.
+
+Candidates that make the program ill-formed (an unbound variable, a
+missing return) fail the predicate by construction -- the oracle reports
+them as invalid, not divergent -- so no validity bookkeeping is needed.
+
+Shrunk reproducers are serialized into ``fuzz-corpus/`` as JSON
+(`repro.fuzz.astjson`) with enough metadata to replay them:
+``python -m repro fuzz --replay fuzz-corpus/<file>.json`` re-runs the
+program (re-applying the recorded mutation, if any) and checks the
+recorded expectation still holds. `tests/test_fuzz_corpus.py` replays
+every checked-in file as part of tier-1.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from typing import Callable, List, Optional, Tuple
+
+from .. import obs
+from ..bedrock2.ast_ import Program
+from .astjson import program_from_json, program_to_json
+from .oracle import LAYERS, _run_interp, logic_crosscheck, run_differential
+
+_SHRINK_STEPS = obs.counter("fuzz.shrink.steps")
+_SHRINK_EVALS = obs.counter("fuzz.shrink.evals")
+
+_STMT_TAGS = ("set", "store", "stackalloc", "if", "while", "call", "interact")
+
+
+def stmt_count_json(doc: dict) -> int:
+    """Number of statement nodes (excluding skip/seq glue) in a program
+    JSON document -- the shrink metric."""
+    def count(node) -> int:
+        tag = node[0]
+        if tag == "seq":
+            return sum(count(s) for s in node[1:])
+        if tag == "skip":
+            return 0
+        n = 1
+        if tag == "if":
+            n += count(node[2]) + count(node[3])
+        elif tag == "while":
+            n += count(node[2])
+        elif tag == "stackalloc":
+            n += count(node[3])
+        return n
+
+    return sum(count(fd["body"]) for fd in doc.values())
+
+
+def stmt_count(program: Program) -> int:
+    return stmt_count_json(program_to_json(program))
+
+
+def _get(node, path):
+    for i in path:
+        node = node[i]
+    return node
+
+
+def _set(node, path, value) -> None:
+    for i in path[:-1]:
+        node = node[i]
+    node[path[-1]] = value
+
+
+def _child_bodies(tag: str) -> Tuple[int, ...]:
+    if tag == "if":
+        return (2, 3)
+    if tag == "while":
+        return (2,)
+    if tag == "stackalloc":
+        return (3,)
+    return ()
+
+
+def _walk_cmds(node, path, out) -> None:
+    """Collect (path, node) for every command node in preorder."""
+    out.append((tuple(path), node))
+    tag = node[0]
+    if tag == "seq":
+        for i in range(1, len(node)):
+            _walk_cmds(node[i], path + [i], out)
+    else:
+        for i in _child_bodies(tag):
+            _walk_cmds(node[i], path + [i], out)
+
+
+def _expr_positions(node, path, out) -> None:
+    """Collect (path, node) for every expression node under a command."""
+    def walk_expr(e, p) -> None:
+        out.append((tuple(p), e))
+        tag = e[0]
+        if tag == "load":
+            walk_expr(e[2], p + [2])
+        elif tag == "op":
+            walk_expr(e[2], p + [2])
+            walk_expr(e[3], p + [3])
+
+    tag = node[0]
+    if tag == "set":
+        walk_expr(node[2], path + [2])
+    elif tag == "store":
+        walk_expr(node[2], path + [2])
+        walk_expr(node[3], path + [3])
+    elif tag in ("if", "while"):
+        walk_expr(node[1], path + [1])
+    elif tag in ("call", "interact"):
+        for i in range(len(node[3])):
+            walk_expr(node[3][i], path + [3, i])
+
+
+def _expr_replacements(e) -> List[list]:
+    tag = e[0]
+    if tag == "lit":
+        out = []
+        if e[1] not in (0, 1):
+            out.append(["lit", e[1] // 2])
+            out.append(["lit", 1])
+            out.append(["lit", 0])
+        return out
+    out = [["lit", 0], ["lit", 1]]
+    if tag == "op":
+        out = [copy.deepcopy(e[2]), copy.deepcopy(e[3])] + out
+    elif tag == "load":
+        out = [copy.deepcopy(e[2])] + out
+    return out
+
+
+class _Shrinker:
+    def __init__(self, doc: dict, predicate: Callable[[dict], bool],
+                 max_evals: int):
+        self.doc = doc
+        self.predicate = predicate
+        self.evals = 0
+        self.max_evals = max_evals
+        self.steps = 0
+
+    def budget_left(self) -> bool:
+        return self.evals < self.max_evals
+
+    def try_accept(self, candidate: dict) -> bool:
+        if not self.budget_left():
+            return False
+        self.evals += 1
+        _SHRINK_EVALS.inc()
+        if self.predicate(candidate):
+            self.doc = candidate
+            self.steps += 1
+            _SHRINK_STEPS.inc()
+            return True
+        return False
+
+    # -- passes (each returns True if the document got smaller) --------------
+
+    def pass_drop_functions(self) -> bool:
+        called = set()
+        for fd in self.doc.values():
+            cmds: list = []
+            _walk_cmds(fd["body"], [], cmds)
+            called.update(n[2] for _p, n in cmds if n[0] == "call")
+        improved = False
+        for name in sorted(self.doc):
+            if name == "main" or name in called:
+                continue
+            candidate = copy.deepcopy(self.doc)
+            del candidate[name]
+            if self.try_accept(candidate):
+                improved = True
+        return improved
+
+    def pass_delete_statements(self, fname: str) -> bool:
+        improved = False
+        progress = True
+        while progress and self.budget_left():
+            progress = False
+            cmds: list = []
+            _walk_cmds(self.doc[fname]["body"], [], cmds)
+            seqs = [(p, n) for p, n in cmds if n[0] == "seq"]
+            for path, node in seqs:
+                k = len(node) - 1
+                chunk = k
+                while chunk >= 1 and self.budget_left():
+                    start = 0
+                    while start + chunk <= k:
+                        kept = node[1:1 + start] + node[1 + start + chunk:]
+                        if len(kept) == 0:
+                            repl = ["skip"]
+                        elif len(kept) == 1:
+                            repl = kept[0]
+                        else:
+                            repl = ["seq"] + kept
+                        candidate = copy.deepcopy(self.doc)
+                        if path:
+                            _set(candidate[fname]["body"], list(path),
+                                 copy.deepcopy(repl))
+                        else:
+                            candidate[fname]["body"] = copy.deepcopy(repl)
+                        if self.try_accept(candidate):
+                            progress = improved = True
+                            break
+                        start += max(1, chunk)
+                    if progress:
+                        break
+                    chunk //= 2
+                if progress:
+                    break
+        return improved
+
+    def pass_structural(self, fname: str) -> bool:
+        improved = True
+        any_improved = False
+        while improved and self.budget_left():
+            improved = False
+            cmds: list = []
+            _walk_cmds(self.doc[fname]["body"], [], cmds)
+            for path, node in cmds:
+                tag = node[0]
+                if tag == "if":
+                    repls = [node[2], node[3], ["skip"]]
+                elif tag == "while":
+                    repls = [node[2], ["skip"]]
+                elif tag in ("stackalloc", "store", "interact", "call", "set"):
+                    repls = [["skip"]]
+                else:
+                    continue
+                for repl in repls:
+                    if repl == node:
+                        continue
+                    candidate = copy.deepcopy(self.doc)
+                    if path:
+                        _set(candidate[fname]["body"], list(path),
+                             copy.deepcopy(repl))
+                    else:
+                        candidate[fname]["body"] = copy.deepcopy(repl)
+                    if self.try_accept(candidate):
+                        improved = any_improved = True
+                        break
+                if improved:
+                    break
+        return any_improved
+
+    def pass_expressions(self, fname: str) -> bool:
+        improved = True
+        any_improved = False
+        while improved and self.budget_left():
+            improved = False
+            cmds: list = []
+            _walk_cmds(self.doc[fname]["body"], [], cmds)
+            exprs: list = []
+            for path, node in cmds:
+                if node[0] != "seq":
+                    _expr_positions(node, list(path), exprs)
+            for path, e in exprs:
+                for repl in _expr_replacements(e):
+                    if repl == e:
+                        continue
+                    candidate = copy.deepcopy(self.doc)
+                    _set(candidate[fname]["body"], list(path), repl)
+                    if self.try_accept(candidate):
+                        improved = any_improved = True
+                        break
+                if improved:
+                    break
+        return any_improved
+
+    def run(self) -> dict:
+        with obs.span("fuzz.shrink", cat="fuzz"):
+            progress = True
+            while progress and self.budget_left():
+                progress = False
+                progress |= self.pass_drop_functions()
+                for fname in sorted(self.doc):
+                    if fname not in self.doc:
+                        continue
+                    progress |= self.pass_delete_statements(fname)
+                    progress |= self.pass_structural(fname)
+                # Expressions last: they rarely unlock more deletions.
+                if not progress:
+                    for fname in sorted(self.doc):
+                        progress |= self.pass_expressions(fname)
+        return self.doc
+
+
+def divergence_predicate(layer: str,
+                         mutation: Optional[str] = None) -> Callable[[dict], bool]:
+    """Predicate: the program still diverges *in the same layer* (with
+    the same mutation applied, if any). Earlier layers are run too so
+    the first-diverging-layer semantics stay faithful."""
+    if layer == "logic":
+        def logic_pred(doc: dict) -> bool:
+            try:
+                program = program_from_json(doc)
+                reference = _run_interp(program)
+                return logic_crosscheck(program, reference)["failed"] > 0
+            except Exception:
+                return False
+        return logic_pred
+
+    upto = LAYERS[:LAYERS.index(layer) + 1]
+
+    def pred(doc: dict) -> bool:
+        try:
+            program = program_from_json(doc)
+            if mutation is not None:
+                from .mutate import mutation_context
+                with mutation_context(mutation):
+                    result = run_differential(program, layers=upto)
+            else:
+                result = run_differential(program, layers=upto)
+        except Exception:
+            return False
+        return (result["status"] == "divergence"
+                and result["divergence"]["layer"] == layer)
+
+    return pred
+
+
+def shrink_reproducer(program: Program, divergence: dict,
+                      mutation: Optional[str] = None,
+                      max_evals: int = 400) -> Tuple[Program, dict]:
+    """Shrink a diverging program; returns ``(shrunk_program, stats)``."""
+    doc = program_to_json(program)
+    predicate = divergence_predicate(divergence["layer"], mutation)
+    before = stmt_count_json(doc)
+    shrinker = _Shrinker(copy.deepcopy(doc), predicate, max_evals)
+    shrunk = shrinker.run()
+    stats = {"original_stmts": before, "shrunk_stmts": stmt_count_json(shrunk),
+             "evals": shrinker.evals, "steps": shrinker.steps}
+    return program_from_json(shrunk), stats
+
+
+# -- corpus ------------------------------------------------------------------
+
+CORPUS_FORMAT = "repro-fuzz-corpus"
+
+
+def save_reproducer(corpus_dir: str, seed: int, program: Program,
+                    divergence: dict, mutation: Optional[str] = None,
+                    stats: Optional[dict] = None) -> str:
+    """Serialize a (shrunk) reproducer; returns the file path."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    name = "seed%d-%s-%s.json" % (seed, mutation or "clean",
+                                  divergence["kind"])
+    path = os.path.join(corpus_dir, name)
+    doc = {
+        "format": CORPUS_FORMAT,
+        "version": 1,
+        "seed": seed,
+        "mutation": mutation,
+        "divergence": divergence,
+        "program": program_to_json(program),
+    }
+    if stats:
+        doc["original_stmts"] = stats["original_stmts"]
+        doc["shrunk_stmts"] = stats["shrunk_stmts"]
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def replay_file(path: str) -> dict:
+    """Replay a corpus file and check its expectation.
+
+    A reproducer recorded under a mutation must still diverge in the
+    recorded layer (the oracle has not lost that kill); one recorded
+    without a mutation documents a since-fixed real bug and must now
+    agree everywhere. Returns ``{"ok": bool, "expected": ..., "got":
+    ..., "path": ...}``.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("format") != CORPUS_FORMAT:
+        return {"ok": False, "path": path,
+                "expected": CORPUS_FORMAT, "got": doc.get("format")}
+    program = program_from_json(doc["program"])
+    mutation = doc.get("mutation")
+    layer = doc["divergence"]["layer"]
+    if layer == "logic":
+        reference = _run_interp(program)
+        failed = logic_crosscheck(program, reference)["failed"]
+        return {"ok": failed > 0, "path": path,
+                "expected": "logic obligation failure",
+                "got": "%d failed" % failed}
+    if mutation is not None:
+        from .mutate import mutation_context
+        with mutation_context(mutation):
+            result = run_differential(program)
+        ok = (result["status"] == "divergence"
+              and result["divergence"]["layer"] == layer)
+        return {"ok": ok, "path": path,
+                "expected": "divergence in %s under %s" % (layer, mutation),
+                "got": result["status"] if not ok else "reproduced"}
+    result = run_differential(program)
+    return {"ok": result["status"] == "ok", "path": path,
+            "expected": "agreement (bug was fixed)",
+            "got": result["status"]}

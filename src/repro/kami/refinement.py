@@ -37,6 +37,28 @@ class RefinementResult:
         return self.ok
 
 
+def match_trace_prefix(impl_trace: List[Tuple[str, int, int]],
+                       spec_trace: List[Tuple[str, int, int]],
+                       ) -> RefinementResult:
+    """Check ``impl_trace`` is a prefix of (or equal to) ``spec_trace``.
+
+    Pure trace containment, shared by `check_refinement` and the
+    differential fuzzing oracle (`repro.fuzz.oracle`): on mismatch the
+    result's ``detail`` pinpoints the first diverging event; an
+    implementation trace longer than the spec's is also a failure (the
+    impl produced events the spec never could)."""
+    if spec_trace[:len(impl_trace)] == impl_trace:
+        return RefinementResult(True, impl_trace, spec_trace)
+    for i, (a, b) in enumerate(zip(impl_trace, spec_trace)):
+        if a != b:
+            return RefinementResult(
+                False, impl_trace, spec_trace,
+                "divergence at event %d: impl %r vs spec %r" % (i, a, b))
+    return RefinementResult(
+        False, impl_trace, spec_trace,
+        "impl trace longer than spec could produce")
+
+
 def build_spec_system(image: bytes, world: ExternalWorld,
                       ram_words: int = 1 << 16,
                       snapshot_rollback: bool = False) -> System:
@@ -89,13 +111,4 @@ def check_refinement(image: bytes, make_world: Callable[[], ExternalWorld],
         spec_trace = spec.mmio_trace()
     _REFINEMENT_EVENTS.inc(len(impl_trace))
 
-    if spec_trace[:len(impl_trace)] == impl_trace:
-        return RefinementResult(True, impl_trace, spec_trace)
-    for i, (a, b) in enumerate(zip(impl_trace, spec_trace)):
-        if a != b:
-            return RefinementResult(
-                False, impl_trace, spec_trace,
-                "divergence at event %d: impl %r vs spec %r" % (i, a, b))
-    return RefinementResult(
-        False, impl_trace, spec_trace,
-        "impl trace longer than spec could produce")
+    return match_trace_prefix(impl_trace, spec_trace)

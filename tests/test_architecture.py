@@ -33,8 +33,13 @@ ALLOWED = {
     "analysis": {"bedrock2", "compiler", "logic"},
     "sw": {"analysis", "bedrock2", "compiler", "logic", "platform",
            "traces", "riscv"},
-    "core": {"bedrock2", "compiler", "kami", "logic", "platform", "riscv",
-             "sw", "traces"},
+    # The differential fuzzer drives every execution layer (and samples
+    # vcgen obligations through the logic layer), so it sits beside
+    # ``core`` near the top of the stack; only ``core`` (the end2end
+    # stimulus) may import it back.
+    "fuzz": {"bedrock2", "compiler", "kami", "logic", "platform", "riscv"},
+    "core": {"bedrock2", "compiler", "fuzz", "kami", "logic", "platform",
+             "riscv", "sw", "traces"},
 }
 
 EXPECTED_PACKAGES = set(ALLOWED)

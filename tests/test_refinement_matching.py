@@ -1,0 +1,74 @@
+"""Adversarial-trace tests for `repro.kami.refinement.match_trace_prefix`.
+
+The refinement checker's verdict is only as good as its trace
+comparison; these tests pin its behavior on the tricky shapes --
+reordered MMIO events, truncated prefixes, spurious trailing events --
+that a buggy pipeline would actually produce.
+"""
+
+from repro.kami.refinement import RefinementResult, match_trace_prefix
+
+LD = ("ld", 0x4000_0000, 0xABCD)
+ST = ("st", 0x4000_0004, 7)
+ST2 = ("st", 0x4000_0008, 9)
+
+
+def test_equal_traces_match():
+    result = match_trace_prefix([LD, ST], [LD, ST])
+    assert result.ok
+    assert isinstance(result, RefinementResult)
+    assert bool(result) is True
+
+
+def test_strict_prefix_matches():
+    assert match_trace_prefix([LD], [LD, ST])
+    assert match_trace_prefix([], [LD, ST])  # impl did nothing yet
+
+
+def test_empty_spec_nonempty_impl_fails():
+    result = match_trace_prefix([LD], [])
+    assert not result
+    assert "longer" in result.detail
+
+
+def test_reordered_events_fail():
+    result = match_trace_prefix([ST, LD], [LD, ST])
+    assert not result
+    assert "event 0" in result.detail
+
+
+def test_reorder_later_in_trace_pinpoints_event():
+    result = match_trace_prefix([LD, ST2, ST], [LD, ST, ST2])
+    assert not result
+    assert "event 1" in result.detail
+
+
+def test_truncated_spec_fails():
+    """Impl produced more events than the spec ever could."""
+    result = match_trace_prefix([LD, ST, ST2], [LD, ST])
+    assert not result
+    assert "longer" in result.detail
+
+
+def test_extra_trailing_impl_event_fails():
+    result = match_trace_prefix([LD, ST], [LD])
+    assert not result
+
+
+def test_value_mismatch_fails():
+    wrong = ("ld", LD[1], LD[2] ^ 1)
+    result = match_trace_prefix([wrong], [LD])
+    assert not result
+    assert "event 0" in result.detail
+
+
+def test_address_mismatch_fails():
+    wrong = ("st", ST[1] + 4, ST[2])
+    result = match_trace_prefix([LD, wrong], [LD, ST])
+    assert not result
+
+
+def test_result_carries_both_traces():
+    result = match_trace_prefix([ST], [LD])
+    assert result.impl_trace == [ST]
+    assert result.spec_trace == [LD]
