@@ -93,9 +93,11 @@ def test_solver_portfolio_ablation(benchmark):
     from repro.sw.verify import verify_all
 
     def run():
-        logic_solver.reset_stats()
+        from repro import obs
+        for tier in ("structural", "interval", "sat"):
+            obs.counter("solver.tier." + tier).reset()
         verify_all()
-        return dict(logic_solver.STATS)
+        return logic_solver.tier_counts()
 
     stats = benchmark.pedantic(run, rounds=1, iterations=1)
     total = sum(stats.values())

@@ -14,10 +14,16 @@ runners vary; only slowdowns are regressions). Result names present in a
 record but absent from the baselines are reported as "new" and pass --
 add them with ``--update``, which rewrites the baselines file from the
 provided records (run locally, commit the diff).
+
+``--update-history [DIR]`` additionally appends each record to the
+committed trend store (``benchmarks/history/``, see
+``benchmarks/history.py``) after the gate has run; the gate's exit code
+is preserved, so a regressed run is still recorded in the trajectory.
 """
 
 import argparse
 import json
+import os
 import sys
 
 DEFAULT_BASELINES = "benchmarks/baselines.json"
@@ -53,6 +59,11 @@ def main(argv=None):
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baselines file from the records "
                              "instead of checking")
+    parser.add_argument("--update-history", nargs="?", metavar="DIR",
+                        const="", default=None,
+                        help="append each record to the bench-history "
+                             "store after the gate (default DIR: "
+                             "benchmarks/history/)")
     args = parser.parse_args(argv)
 
     with open(args.baselines) as f:
@@ -69,6 +80,7 @@ def main(argv=None):
             f.write("\n")
         print("updated %s from %d record(s)"
               % (args.baselines, len(args.records)))
+        _append_history(args)
         return 0
 
     failures = 0
@@ -92,12 +104,27 @@ def main(argv=None):
             else:
                 print("ok    %s/%-28s %7.2fs vs baseline %.2fs (%.2fx)"
                       % (name, result, wall, baseline, ratio))
+    _append_history(args)
     if failures:
         print("%d benchmark result(s) regressed by more than %d%%"
               % (failures, round(args.threshold * 100)))
         return 1
     print("no perf regressions beyond %d%%" % round(args.threshold * 100))
     return 0
+
+
+def _append_history(args):
+    """Record the run in the trend store (never affects the gate)."""
+    if args.update_history is None:
+        return
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import history
+
+    history_dir = args.update_history or None
+    for path in args.records:
+        name, walls = load_record(path)
+        out = history.append_record(name, walls, history_dir=history_dir)
+        print("appended %s run to %s" % (name, out))
 
 
 if __name__ == "__main__":

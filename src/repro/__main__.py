@@ -9,13 +9,16 @@ Wraps the library's main entry points for interactive exploration:
 * ``fuzz``        -- differential fuzzing of all execution layers
 * ``bench``       -- the §7.2.1 latency decomposition
 * ``stats``       -- run a verify+end2end workload, print all obs counters
+* ``report``      -- render ledger/trace/metrics/history into one HTML file
 * ``disasm``      -- disassemble the compiled lightbulb (or doorlock)
 * ``export-c``    -- print the Bedrock2-to-C export of the lightbulb
 * ``demo``        -- a short interactive lightbulb session on the ISA machine
 
-``verify``, ``lint``, ``end2end``, ``bench`` and ``stats`` accept
-``--trace-out FILE.jsonl`` to record a Chrome-trace-format span trace
-(open in Perfetto; see docs/observability.md).
+``verify``, ``lint``, ``check``, ``end2end``, ``fuzz``, ``bench`` and
+``stats`` accept ``--trace-out FILE.jsonl`` to record a
+Chrome-trace-format span trace (open in Perfetto); ``verify`` also
+accepts ``--ledger-out FILE.jsonl`` for the per-obligation verification
+ledger. Feed both to ``report`` (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -25,7 +28,8 @@ import sys
 
 
 def _obs_start(args) -> bool:
-    """Enable observability if the command asked for a trace."""
+    """Enable observability if the command asked for a trace or ledger."""
+    enabled = False
     if getattr(args, "trace_out", None):
         from . import obs
 
@@ -34,8 +38,15 @@ def _obs_start(args) -> bool:
         with open(args.trace_out, "w"):
             pass
         obs.enable(trace=True)
-        return True
-    return False
+        enabled = True
+    if getattr(args, "ledger_out", None):
+        from . import obs
+
+        with open(args.ledger_out, "w"):
+            pass
+        obs.enable_ledger()
+        enabled = True
+    return enabled
 
 
 def _obs_finish(args) -> None:
@@ -45,6 +56,14 @@ def _obs_finish(args) -> None:
         events = obs.export_trace(args.trace_out)
         print("wrote %d trace events to %s (Chrome trace JSONL)"
               % (events, args.trace_out))
+    if getattr(args, "ledger_out", None):
+        from . import obs
+
+        volatile = bool(getattr(args, "ledger_volatile", False))
+        records = obs.export_ledger(args.ledger_out, volatile=volatile)
+        print("wrote %d obligation records to %s (verification ledger%s)"
+              % (records, args.ledger_out,
+                 ", volatile form" if volatile else ""))
 
 
 def cmd_verify(args) -> int:
@@ -135,6 +154,7 @@ def cmd_lint(args) -> int:
 def cmd_check(args) -> int:
     from .core.integration import run_all_checks
 
+    _obs_start(args)
     checks = 0
     failures = 0
     for result in run_all_checks():
@@ -143,6 +163,7 @@ def cmd_check(args) -> int:
         checks += 1
         failures += 0 if result.ok else 1
     print("%d checks, %d failed" % (checks, failures))
+    _obs_finish(args)
     return 1 if failures else 0
 
 
@@ -339,6 +360,21 @@ def cmd_stats(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_report(args) -> int:
+    """Render the observability artifacts of a run -- verification
+    ledger, span trace, bench history -- into one self-contained HTML
+    file (inline CSS, zero dependencies)."""
+    from .obs.report import build_report
+
+    html = build_report(ledger_path=args.ledger, trace_path=args.trace,
+                        history_dir=args.history, title=args.title)
+    with open(args.output, "w") as fh:
+        fh.write(html)
+    print("wrote %s (%d bytes, self-contained)"
+          % (args.output, len(html.encode("utf-8"))))
+    return 0
+
+
 def cmd_disasm(args) -> int:
     from .riscv.disasm import disassemble
 
@@ -420,6 +456,14 @@ def main(argv=None) -> int:
                    default=True,
                    help="discharge obligations by abstract interpretation "
                         "before the SAT solver (see docs/static-analysis.md)")
+    p.add_argument("--ledger-out", metavar="FILE.jsonl", default=None,
+                   help="write the verification ledger: one record per VC "
+                        "obligation (fingerprint, source location, tier, "
+                        "effort); canonical form is byte-identical across "
+                        "--jobs values")
+    p.add_argument("--ledger-volatile", action="store_true",
+                   help="keep per-run fields (wall_us, pid) in the ledger "
+                        "instead of the canonical deterministic form")
     add_trace_out(p)
     p = sub.add_parser("lint", help="static analysis of the Bedrock2 apps")
     p.add_argument("--app", choices=("lightbulb", "doorlock", "all"),
@@ -430,7 +474,8 @@ def main(argv=None) -> int:
                    help="suppress a diagnostic code, optionally only in one "
                         "function (repeatable)")
     add_trace_out(p)
-    sub.add_parser("check", help="run the integration checks")
+    p = sub.add_parser("check", help="run the integration checks")
+    add_trace_out(p)
     p = sub.add_parser("end2end",
                        help="check the end-to-end theorem on (adversarial) "
                             "packet streams")
@@ -487,6 +532,20 @@ def main(argv=None) -> int:
     p.add_argument("--units", type=int, default=60_000,
                    help="end2end execution units for the stats workload")
     add_trace_out(p)
+    p = sub.add_parser("report",
+                       help="render ledger/trace/metrics/history into one "
+                            "self-contained HTML file")
+    p.add_argument("-o", "--output", metavar="FILE.html",
+                   default="report.html")
+    p.add_argument("--ledger", metavar="FILE.jsonl", default="ledger.jsonl",
+                   help="verification ledger from `verify --ledger-out` "
+                        "(section omitted when the file is absent)")
+    p.add_argument("--trace", metavar="FILE.jsonl", default="trace.jsonl",
+                   help="Chrome-trace JSONL from `--trace-out` "
+                        "(section omitted when the file is absent)")
+    p.add_argument("--history", metavar="DIR", default="benchmarks/history",
+                   help="bench-history store for the trend sparklines")
+    p.add_argument("--title", default="repro verification report")
     p = sub.add_parser("disasm", help="disassemble a compiled app")
     p.add_argument("--app", choices=("lightbulb", "doorlock"),
                    default="lightbulb")
@@ -501,6 +560,7 @@ def main(argv=None) -> int:
         "fuzz": cmd_fuzz,
         "bench": cmd_bench,
         "stats": cmd_stats,
+        "report": cmd_report,
         "disasm": cmd_disasm,
         "export-c": cmd_export_c,
         "demo": cmd_demo,

@@ -27,10 +27,13 @@ Supported reasoning, mirroring the paper's usage:
 from __future__ import annotations
 
 import itertools
+import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..logic import cache as C
 from ..logic import solver as S
 from ..logic import terms as T
 from .ast_ import (
@@ -59,6 +62,66 @@ _VCS_ASSUMED = obs.counter("vcgen.assumptions_made")
 _VCS_TIMEOUT = obs.counter("vcgen.obligations_timeout")
 _PATHS = obs.counter("vcgen.paths_explored")
 _FUNCTIONS = obs.counter("vcgen.functions_verified")
+_OBLIGATION_SECONDS = obs.histogram("vcgen.obligation_seconds")
+
+# Pre-bound solver counters the ledger attributes per obligation: effort
+# is the delta across the query; the tier is whichever tier counter
+# moved. (Registry get-or-create returns the same objects solver.py and
+# cache.py already bind.)
+_EFFORT_REFS = tuple(
+    (key, obs.counter(name))
+    for key, name in (("decisions", "sat.decisions"),
+                      ("propagations", "sat.propagations"),
+                      ("conflicts", "sat.conflicts"),
+                      ("cnf_vars", "bitblast.cnf_vars"),
+                      ("cnf_clauses", "bitblast.cnf_clauses")))
+_TIER_REFS = tuple(
+    (tier, obs.counter("solver.tier." + tier))
+    for tier in ("structural", "interval", "sat"))
+_CACHE_HITS = obs.counter("cache.hits")
+_CACHE_MISSES = obs.counter("cache.misses")
+
+
+def _solver_snapshot() -> tuple:
+    """Counter baseline taken before a ledgered solver query."""
+    return (tuple(counter.value for _, counter in _EFFORT_REFS),
+            tuple(counter.value for _, counter in _TIER_REFS),
+            _CACHE_HITS.value, _CACHE_MISSES.value)
+
+
+def _solver_delta(snapshot: tuple):
+    """(effort dict, tier, cache hit/miss) attributed to the query since
+    ``snapshot``. The cache tier wins over the portfolio tiers (a cache
+    hit runs no tier at all)."""
+    effort0, tiers0, hits0, misses0 = snapshot
+    effort = {key: counter.value - before
+              for (key, counter), before in zip(_EFFORT_REFS, effort0)}
+    tier = None
+    for (name, counter), before in zip(_TIER_REFS, tiers0):
+        if counter.value > before:
+            tier = name
+            break
+    cache_state = None
+    if _CACHE_HITS.value > hits0:
+        tier, cache_state = "cache", "hit"
+    elif _CACHE_MISSES.value > misses0:
+        cache_state = "miss"
+    return effort, tier, cache_state
+
+
+def _short_loc(loc) -> Optional[str]:
+    """Render a builder frame-stamp ``(filename, lineno)`` as a stable
+    ``path:line`` string (paths shortened to the in-repo suffix so the
+    ledger does not depend on the checkout location)."""
+    if loc is None:
+        return None
+    filename, lineno = loc
+    cut = filename.rfind("repro" + os.sep)
+    if cut >= 0:
+        filename = filename[cut:]
+    else:
+        filename = os.path.basename(filename)
+    return "%s:%d" % (filename.replace(os.sep, "/"), lineno)
 
 
 class VerificationError(Exception):
@@ -213,11 +276,18 @@ class VC:
 
     def __init__(self, max_conflicts: int = 2_000_000,
                  record_timeouts: bool = True,
-                 prescreen: Optional[Callable[["SymState", T.Term], bool]] = None):
+                 prescreen: Optional[Callable[["SymState", T.Term], bool]] = None,
+                 function: str = ""):
         self._counter = itertools.count()
         self.max_conflicts = max_conflicts
         self.record_timeouts = record_timeouts
         self.prescreen = prescreen
+        self.function = function
+        #: eDSL source location of the statement currently executing
+        #: (set by `SymExec._exec` from the builder's frame stamps);
+        #: ledger records attribute obligations to it.
+        self.current_loc: Optional[tuple] = None
+        self._ledger_seq = itertools.count()
         self.obligations_proved = 0
         self.assumptions_made = 0
         self.timeouts: List[str] = []
@@ -232,17 +302,60 @@ class VC:
             return T.bool_var(name)
         return T.var(name, width)
 
+    def _ledger(self, led, state: SymState, goal: T.Term, context: str,
+                status: str, snapshot: Optional[tuple], t0: float,
+                tier: Optional[str] = None,
+                prescreen: Optional[str] = None) -> None:
+        """Append one obligation record to the active ledger."""
+        if snapshot is not None:
+            effort, solved_tier, cache_state = _solver_delta(snapshot)
+            if tier is None:
+                tier = solved_tier
+        else:
+            effort, cache_state = {key: 0 for key, _ in _EFFORT_REFS}, None
+        # The same formula `solver.check_valid` decides, fingerprinted
+        # the same way the proof cache keys it.
+        digest, _ = C.fingerprint(
+            T.and_(*(list(state.path) + [T.not_(goal)])))
+        led.append({
+            "function": self.function,
+            "seq": next(self._ledger_seq),
+            "context": context,
+            "loc": _short_loc(self.current_loc),
+            "fp": digest,
+            "status": status,
+            "tier": tier,
+            "cache": cache_state,
+            "prescreen": prescreen,
+            "effort": effort,
+            "wall_us": int((time.perf_counter() - t0) * 1e6),
+            "pid": os.getpid(),
+        })
+
     def prove(self, state: SymState, goal: T.Term, context: str) -> None:
         """Discharge an obligation under the current path condition."""
+        t0 = time.perf_counter()
+        led = obs.ledger()
+        snapshot = _solver_snapshot() if led is not None else None
         with obs.span("vc.prove", cat="vcgen", args={"context": context}):
             if self.prescreened(state, goal):
                 self.obligations_proved += 1
                 _VCS_PROVED.inc()
+                _OBLIGATION_SECONDS.record(time.perf_counter() - t0)
+                if led is not None:
+                    reason = ("const-goal" if goal is T.TRUE
+                              else "abstract-interp")
+                    self._ledger(led, state, goal, context, "proved", None,
+                                 t0, tier="prescreen", prescreen=reason)
                 return
             try:
                 result = S.check_valid(goal, hypotheses=state.path,
                                        max_conflicts=self.max_conflicts)
             except S.SolverTimeout:
+                _OBLIGATION_SECONDS.record(time.perf_counter() - t0)
+                if led is not None:
+                    self._ledger(led, state, goal, context, "timeout",
+                                 snapshot, t0)
                 if not self.record_timeouts:
                     raise
                 # Distinguish the budget-exceeded VC from a refuted one:
@@ -251,11 +364,58 @@ class VC:
                 self.timeouts.append(context)
                 _VCS_TIMEOUT.inc()
                 return
+        _OBLIGATION_SECONDS.record(time.perf_counter() - t0)
         if not result.valid:
+            if led is not None:
+                self._ledger(led, state, goal, context, "unprovable",
+                             snapshot, t0)
             raise VerificationError(context, "cannot prove %r" % (goal,),
                                     result.model)
         self.obligations_proved += 1
         _VCS_PROVED.inc()
+        if led is not None:
+            self._ledger(led, state, goal, context, "proved", snapshot, t0)
+
+    def check_bounds(self, state: SymState, goal: T.Term,
+                     context: str) -> bool:
+        """Decide a memory-safety side condition (symbolic access within
+        an owned region). Returns True when proved -- counted and
+        ledgered like any obligation -- and False when not provable
+        under this region (the resolver tries the next candidate, so an
+        unprovable bounds record is not by itself a failed run)."""
+        t0 = time.perf_counter()
+        led = obs.ledger()
+        snapshot = _solver_snapshot() if led is not None else None
+        if self.prescreened(state, goal):
+            self.obligations_proved += 1
+            _VCS_PROVED.inc()
+            _OBLIGATION_SECONDS.record(time.perf_counter() - t0)
+            if led is not None:
+                reason = "const-goal" if goal is T.TRUE else "abstract-interp"
+                self._ledger(led, state, goal, context, "proved", None,
+                             t0, tier="prescreen", prescreen=reason)
+            return True
+        try:
+            result = S.check_valid(goal, hypotheses=state.path,
+                                   max_conflicts=self.max_conflicts)
+        except S.SolverTimeout:
+            _OBLIGATION_SECONDS.record(time.perf_counter() - t0)
+            if led is not None:
+                self._ledger(led, state, goal, context, "timeout",
+                             snapshot, t0)
+            raise
+        _OBLIGATION_SECONDS.record(time.perf_counter() - t0)
+        if result.valid:
+            self.obligations_proved += 1
+            _VCS_PROVED.inc()
+            if led is not None:
+                self._ledger(led, state, goal, context, "proved",
+                             snapshot, t0)
+            return True
+        if led is not None:
+            self._ledger(led, state, goal, context, "unprovable",
+                         snapshot, t0)
+        return False
 
     def feasible(self, state: SymState) -> bool:
         """Cheap path-feasibility check (used to prune dead branches)."""
@@ -318,15 +478,8 @@ class SymExec:
                 continue
             # Symbolic offset: accept if provably in bounds.
             in_bounds = T.ule(offset, T.const(region.size - nbytes))
-            if self.vc.prescreened(state, in_bounds):
-                self.vc.obligations_proved += 1
-                _VCS_PROVED.inc()
-                return region, None, offset
-            result = S.check_valid(in_bounds, hypotheses=state.path,
-                                   max_conflicts=self.vc.max_conflicts)
-            if result.valid:
-                self.vc.obligations_proved += 1
-                _VCS_PROVED.inc()
+            if self.vc.check_bounds(state, in_bounds,
+                                    context + "/bounds:" + region.name):
                 return region, None, offset
         raise VerificationError(
             context,
@@ -373,6 +526,11 @@ class SymExec:
 
     def _exec(self, c: Cmd, state: SymState,
               k: Callable[[SymState], None], ctx: str) -> None:
+        loc = getattr(c, "loc", None)
+        if loc is not None:
+            # Builder frame stamp: obligations raised while this command
+            # executes are attributed to its eDSL source line.
+            self.vc.current_loc = loc
         if isinstance(c, SSkip):
             k(state)
             return
@@ -684,7 +842,7 @@ def verify_function(program: Program, fname: str, spec: FunctionSpec,
     """
     fn = program[fname]
     vc = VC(max_conflicts=max_conflicts, record_timeouts=record_timeouts,
-            prescreen=prescreen)
+            prescreen=prescreen, function=fname)
     state = SymState()
     args = tuple(vc.fresh(p) for p in fn.params)
     state.locals = dict(zip(fn.params, args))
@@ -697,6 +855,9 @@ def verify_function(program: Program, fname: str, spec: FunctionSpec,
 
         def on_exit(final: SymState) -> None:
             paths[0] += 1
+            # Postcondition obligations belong to the spec, not to
+            # whichever statement happened to execute last on the path.
+            vc.current_loc = None
             rets = []
             for name in fn.rets:
                 if name not in final.locals:

@@ -28,7 +28,9 @@ from ..riscv.insts import InvalidInstruction
 
 # Observability: mispredict recoveries (epoch flips) and the wrong-path
 # instructions they squash -- the pipeline-health counters surfaced by
-# `python -m repro stats`.
+# `python -m repro stats`. Under `obs.ENABLED`, per-event trace instants
+# (p4mm.stall / p4mm.squash / p4mm.redirect / p4mm.mmio) put the
+# hardware-side activity on the same timeline as the software layers.
 _FLUSHES = obs.counter("kami.pipeline_flushes")
 _SQUASHES = obs.counter("kami.squashed_instructions")
 _RETIRED = obs.counter("kami.instructions_retired")
@@ -112,6 +114,9 @@ def make_pipelined_processor(reset_pc: int = 0, icache_words: int = 4096,
         if entry.epoch != m.regs["epoch"]:
             f2d.deq()  # squashed in flight: drop silently
             _SQUASHES.inc()
+            if obs.ENABLED:
+                obs.instant("p4mm.squash", cat="kami",
+                            args={"stage": "decode", "pc": entry.pc})
             return
         try:
             dec = decode_signals(entry.raw)
@@ -122,6 +127,9 @@ def make_pipelined_processor(reset_pc: int = 0, icache_words: int = 4096,
         for reg in (dec.src1, dec.src2,
                     dec.instr.rd if dec.writes_rd else None):
             if reg is not None and sb.get(reg, 0) > 0:
+                if obs.ENABLED:
+                    obs.instant("p4mm.stall", cat="kami",
+                                args={"pc": entry.pc, "reg": reg})
                 raise RuleAbort("scoreboard hazard on x%d" % reg)
         if d2e.full():
             raise RuleAbort("d2e full")
@@ -141,6 +149,9 @@ def make_pipelined_processor(reset_pc: int = 0, icache_words: int = 4096,
         if entry.epoch != m.regs["epoch"]:
             d2e.deq()
             _SQUASHES.inc()
+            if obs.ENABLED:
+                obs.instant("p4mm.squash", cat="kami",
+                            args={"stage": "execute", "pc": entry.pc})
             if dec.writes_rd and dec.instr.rd != 0:
                 sb[dec.instr.rd] = sb.get(dec.instr.rd, 0) - 1
             return
@@ -152,17 +163,28 @@ def make_pipelined_processor(reset_pc: int = 0, icache_words: int = 4096,
         if dec.is_load or dec.is_store:
             if res.mem_addr % dec.mem_size != 0:
                 raise RuleAbort("misaligned access")
+        is_ram = None
         if dec.is_load:
             is_ram = m.sys.call("memIsRam", res.mem_addr)
             if not is_ram and dec.mem_size != 4:
                 raise RuleAbort("sub-word MMIO load")
         d2e.deq()
         if dec.is_load:
+            if obs.ENABLED and not is_ram:
+                obs.instant("p4mm.mmio", cat="kami",
+                            args={"op": "read", "addr": res.mem_addr})
             word_val = m.sys.call("memRead", res.mem_addr & 0xFFFFFFFC)
             shift = res.mem_addr & 3
             raw_val = (word_val >> (8 * shift)) & ((1 << (8 * dec.mem_size)) - 1)
             rd_value = load_result(dec, raw_val)
         elif dec.is_store:
+            if (obs.ENABLED and "memIsRam" in m.sys._methods
+                    and not m.sys.call("memIsRam", res.mem_addr)):
+                # Only when memIsRam is a provided (inlined, unlabeled)
+                # module method -- an external fallback call would land
+                # in the step label and perturb the refinement trace.
+                obs.instant("p4mm.mmio", cat="kami",
+                            args={"op": "write", "addr": res.mem_addr})
             shift = res.mem_addr & 3
             byteen = ((1 << dec.mem_size) - 1) << shift
             data = (res.store_value << (8 * shift)) & 0xFFFFFFFF
@@ -170,6 +192,9 @@ def make_pipelined_processor(reset_pc: int = 0, icache_words: int = 4096,
         if res.next_pc != entry.pred:
             # Mispredict: flip the epoch, redirect fetch, train the BTB.
             _FLUSHES.inc()
+            if obs.ENABLED:
+                obs.instant("p4mm.redirect", cat="kami",
+                            args={"pc": entry.pc, "target": res.next_pc})
             m.regs["epoch"] ^= 1
             m.regs["pc"] = res.next_pc
             if btb_enabled:

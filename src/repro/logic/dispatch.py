@@ -17,9 +17,13 @@ What crosses the process boundary is kept picklable by construction:
   whole-function verification, and ``module:function`` paths plus kwargs
   for generic calls;
 * **results**: per-task `(status, model/report, counter deltas, fresh
-  cache entries, wall seconds)` tuples -- never live exceptions, which
-  do not round-trip through pickle reliably; failures are re-raised in
-  the parent, earliest submitted task first.
+  cache entries, wall seconds, observability extras)` tuples -- never
+  live exceptions, which do not round-trip through pickle reliably;
+  failures are re-raised in the parent, earliest submitted task first.
+  The extras dict ships the worker's histogram deltas, trace events
+  (rebased onto the parent clock and re-stamped with the worker pid),
+  and verification-ledger records back to the parent, merged in
+  task-submission order so ``--jobs N`` aggregation is deterministic.
 
 Each task runs under a **per-task budget** (its own ``max_conflicts``
 solver allowance) and a private proof cache seeded from the parent's
@@ -102,10 +106,23 @@ _SEED_ENTRIES: List[tuple] = []
 _USE_CACHE = False
 
 
-def _pool_init(seed_entries: List[tuple], use_cache: bool) -> None:
+def _pool_init(seed_entries: List[tuple], use_cache: bool,
+               enable_obs: bool = False, trace: bool = False,
+               ledger: bool = False) -> None:
     global _SEED_ENTRIES, _USE_CACHE
     _SEED_ENTRIES = seed_entries
     _USE_CACHE = use_cache
+    # Mirror the parent's observability mode. Under fork the worker
+    # inherits the parent's tracer (with the parent's pid and events),
+    # so a fresh one must be started either way.
+    if enable_obs:
+        obs.enable(trace=trace)
+    else:
+        obs.disable()
+    if ledger:
+        obs.enable_ledger()
+    else:
+        obs.disable_ledger()
 
 
 def _counter_values() -> Dict[str, int]:
@@ -125,6 +142,38 @@ def _counter_delta(before: Dict[str, int]) -> Dict[str, int]:
     return delta
 
 
+def _histogram_values() -> Dict[str, tuple]:
+    snapshot: Dict[str, tuple] = {}
+    for name, metric in obs.REGISTRY._metrics.items():
+        if isinstance(metric, obs.Histogram):
+            snapshot[name] = (metric.count, metric.total,
+                              dict(metric.buckets))
+    return snapshot
+
+
+def _histogram_delta(before: Dict[str, tuple]) -> Dict[str, tuple]:
+    """Per-histogram ``(count, total, min, max, buckets)`` deltas since
+    the snapshot. min/max are the worker's current extremes -- real
+    observed samples, so the parent-side merge stays exact (re-merging
+    an extreme the parent already holds is idempotent)."""
+    delta: Dict[str, tuple] = {}
+    for name, metric in obs.REGISTRY._metrics.items():
+        if not isinstance(metric, obs.Histogram):
+            continue
+        count0, total0, buckets0 = before.get(name, (0, 0.0, {}))
+        dcount = metric.count - count0
+        if dcount <= 0:
+            continue
+        dbuckets = {}
+        for exponent, n in metric.buckets.items():
+            dn = n - buckets0.get(exponent, 0)
+            if dn:
+                dbuckets[exponent] = dn
+        delta[name] = (dcount, metric.total - total0,
+                       metric.min, metric.max, dbuckets)
+    return delta
+
+
 class TaskEnv:
     """Per-task worker environment: a private cache seeded from the
     parent (so results depend only on the payload, not on which worker
@@ -138,6 +187,11 @@ class TaskEnv:
     def __enter__(self):
         self.t0 = time.perf_counter()
         self.before = _counter_values()
+        self.hist_before = _histogram_values()
+        tr = obs.tracer()
+        self.trace_mark = len(tr.events) if tr is not None else 0
+        led = obs.ledger()
+        self.ledger_mark = led.mark() if led is not None else 0
         self.cache = (ProofCache.from_entries(_SEED_ENTRIES)
                       if _USE_CACHE else None)
         self.previous = S.set_cache(self.cache)
@@ -146,9 +200,23 @@ class TaskEnv:
     def __exit__(self, *exc) -> None:
         S.set_cache(self.previous)
 
-    def outcome(self) -> Tuple[Dict[str, int], List[tuple], float]:
+    def outcome(self) -> Tuple[Dict[str, int], List[tuple], float, Dict]:
         fresh = self.cache.fresh_entries() if self.cache is not None else []
-        return _counter_delta(self.before), fresh, time.perf_counter() - self.t0
+        extras: Dict = {"pid": os.getpid()}
+        hist = _histogram_delta(self.hist_before)
+        if hist:
+            extras["hist"] = hist
+        tr = obs.tracer()
+        if tr is not None and len(tr.events) > self.trace_mark:
+            extras["events"] = tr.events[self.trace_mark:]
+            extras["trace_t0"] = tr.t0
+        led = obs.ledger()
+        if led is not None:
+            records = led.since(self.ledger_mark)
+            if records:
+                extras["ledger"] = records
+        return (_counter_delta(self.before), fresh,
+                time.perf_counter() - self.t0, extras)
 
 
 def _worker_discharge(task: Tuple[int, Obligation]):
@@ -164,8 +232,8 @@ def _worker_discharge(task: Tuple[int, Obligation]):
                 status, model = "refuted", result.model
         except S.SolverTimeout:
             status = "timeout"
-        counters, fresh, wall = env.outcome()
-    return index, status, model, None, counters, fresh, wall
+        counters, fresh, wall, extras = env.outcome()
+    return index, status, model, None, counters, fresh, wall, extras
 
 
 def _worker_call(task: Tuple[int, str, dict]):
@@ -179,8 +247,8 @@ def _worker_call(task: Tuple[int, str, dict]):
             result = fn(**kwargs)
         except Exception as err:  # surfaced (re-raised) in the parent
             error = (type(err).__name__, func_path, str(err), None)
-        counters, fresh, wall = env.outcome()
-    return index, result, None, error, counters, fresh, wall
+        counters, fresh, wall, extras = env.outcome()
+    return index, result, None, error, counters, fresh, wall, extras
 
 
 # ---------------------------------------------------------------------------
@@ -196,17 +264,41 @@ def _merge_counters(delta: Dict[str, int]) -> None:
             obs.counter(name).inc(value)
 
 
+def _merge_extras(extras: Optional[Dict]) -> None:
+    """Fold one worker task's observability extras into this process:
+    histogram deltas into the registry, trace events into the parent
+    tracer (rebased + pid-stamped), ledger records into the parent
+    ledger. Called in task-submission order, so the merged state is
+    independent of worker scheduling."""
+    if not extras:
+        return
+    pid = extras.get("pid")
+    for name, delta in extras.get("hist", {}).items():
+        obs.histogram(name).merge(*delta)
+    tr = obs.tracer()
+    events = extras.get("events")
+    if tr is not None and events:
+        tr.absorb(events, t0=extras.get("trace_t0"), pid=pid)
+    led = obs.ledger()
+    records = extras.get("ledger")
+    if led is not None and records:
+        led.absorb(records, pid=pid)
+
+
 def run_pool(worker: Callable, tasks: List[tuple], jobs: int,
              cache: Optional[ProofCache], label: str) -> List[tuple]:
     """Run ``tasks`` on a pool and return raw worker tuples **in
-    submission order**, with counters/cache entries merged into this
-    process. Spans and histograms record per-task wall time."""
+    submission order**, with counters, histograms, trace events, ledger
+    records, and cache entries merged into this process. Spans and
+    histograms record per-task wall time."""
     _BATCHES.inc()
     seed = cache.seed_entries() if cache is not None else []
     ctx = multiprocessing.get_context()
     pool = ctx.Pool(processes=max(1, min(jobs, len(tasks))),
                     initializer=_pool_init,
-                    initargs=(seed, cache is not None))
+                    initargs=(seed, cache is not None, obs.ENABLED,
+                              obs.tracer() is not None,
+                              obs.ledger() is not None))
     try:
         with obs.span("dispatch.batch", cat="dispatch",
                       args={"label": label, "jobs": jobs,
@@ -217,12 +309,13 @@ def run_pool(worker: Callable, tasks: List[tuple], jobs: int,
         pool.join()
     raw.sort(key=lambda item: item[0])
     for item in raw:
-        _, _, _, _, counters, fresh, wall = item
+        _, _, _, _, counters, fresh, wall, extras = item
         _TASKS.inc()
         _TASK_SECONDS.record(wall)
         obs.instant("dispatch.task", cat="dispatch",
                     args={"label": label, "seconds": wall})
         _merge_counters(counters)
+        _merge_extras(extras)
         if cache is not None and fresh:
             cache.absorb(fresh)
     return raw
@@ -243,7 +336,7 @@ def discharge_batch(obligations: Sequence[Obligation],
     tasks = [(i, ob) for i, ob in enumerate(obligations)]
     raw = run_pool(_worker_discharge, tasks, jobs, cache, "discharge")
     return [ObligationResult(obligations[i].context, status, model)
-            for i, status, model, _, _, _, _ in raw]
+            for i, status, model, _, _, _, _, _ in raw]
 
 
 def _sequential_discharge(ob: Obligation,
@@ -288,7 +381,7 @@ def parallel_call(func_path: str, kwargs_list: Sequence[dict],
     tasks = [(i, func_path, kwargs) for i, kwargs in enumerate(kwargs_list)]
     raw = run_pool(_worker_call, tasks, jobs, None, "call")
     results = []
-    for index, result, _, error, _, _, _ in raw:
+    for index, result, _, error, _, _, _, _ in raw:
         if error is not None:
             raise DispatchError(*error)
         results.append(result)

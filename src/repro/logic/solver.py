@@ -16,7 +16,7 @@ reports an unchecked countermodel).
 from __future__ import annotations
 
 import contextlib
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from . import terms as T
 from .. import obs
@@ -91,44 +91,11 @@ _CNF_CLAUSES = obs.counter("bitblast.cnf_clauses")
 _CNF_CACHE_HITS = obs.counter("bitblast.cache_hits")
 
 
-class _TierStatsView:
-    """Deprecated read-through alias for the old ``STATS`` dict.
-
-    Kept so existing callers (`benchmarks/bench_ablations.py`) keep
-    working: behaves like a mapping of tier name -> settled-query count,
-    backed by the `repro.obs` registry. New code should read
-    ``obs.REGISTRY`` directly."""
-
-    def __getitem__(self, key: str) -> int:
-        return _TIER_COUNTERS[key].value
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(_TIERS)
-
-    def __len__(self) -> int:
-        return len(_TIERS)
-
-    def keys(self):
-        return _TIERS
-
-    def values(self):
-        return [_TIER_COUNTERS[t].value for t in _TIERS]
-
-    def items(self):
-        return [(t, _TIER_COUNTERS[t].value) for t in _TIERS]
-
-    def __repr__(self) -> str:
-        return repr(dict(self.items()))
-
-
-STATS = _TierStatsView()
-
-
-def reset_stats() -> None:
-    """Deprecated: zero the tier counters (alias for a registry reset of
-    the ``solver.tier.*`` counters)."""
-    for tier_counter in _TIER_COUNTERS.values():
-        tier_counter.reset()
+def tier_counts() -> Dict[str, int]:
+    """Per-tier settled-query counts, read from the registry. (The old
+    ``STATS`` read-through alias and ``reset_stats`` are gone; reset via
+    ``obs.REGISTRY.reset()`` or the individual counters.)"""
+    return {tier: _TIER_COUNTERS[tier].value for tier in _TIERS}
 
 
 def _flush_sat_stats(blaster: BitBlaster) -> None:

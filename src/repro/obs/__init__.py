@@ -10,6 +10,9 @@ One place to see where time and work go, across all layers:
   increment at most.
 * **tracing** (`repro.obs.tracing`): hierarchical spans exported as
   Chrome-trace-format JSONL for ``chrome://tracing`` / Perfetto.
+* **the verification ledger** (`repro.obs.ledger`): one structured
+  record per VC obligation -- fingerprint, source location, solver tier,
+  effort counters -- exported as deterministic JSONL.
 * **profiling hooks**: the `timed` decorator, a per-call histogram + span.
 
 Fine-grained instrumentation (spans, per-opcode execution counts,
@@ -26,8 +29,9 @@ Usage::
     print(obs.REGISTRY.render())      # the `python -m repro stats` view
     obs.export_trace("trace.jsonl")   # open in Perfetto
 
-CLI surface: ``python -m repro stats`` and ``--trace-out FILE.jsonl`` on
-``verify`` / ``end2end`` / ``bench``.
+CLI surface: ``python -m repro stats``, ``--trace-out FILE.jsonl`` on the
+workload subcommands, ``verify --ledger-out FILE.jsonl``, and
+``python -m repro report`` to render everything into one HTML file.
 """
 
 from __future__ import annotations
@@ -36,15 +40,17 @@ import functools
 import time
 from typing import Dict, Optional
 
+from .ledger import Ledger
 from .metrics import Counter, Gauge, Histogram, Registry, REGISTRY
 from .tracing import NULL_SPAN, Span, Tracer, load_jsonl
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Registry", "REGISTRY",
-    "Tracer", "NULL_SPAN", "load_jsonl",
+    "Tracer", "NULL_SPAN", "load_jsonl", "Ledger",
     "ENABLED", "enable", "disable", "enabled", "reset",
     "counter", "gauge", "histogram",
     "tracer", "span", "instant", "export_trace", "timed",
+    "enable_ledger", "disable_ledger", "ledger", "export_ledger",
 ]
 
 #: Master switch for fine-grained instrumentation. Instrumented modules
@@ -52,6 +58,7 @@ __all__ = [
 ENABLED = False
 
 _TRACER: Optional[Tracer] = None
+_LEDGER: Optional[Ledger] = None
 
 # Registry conveniences (get-or-create on the default registry).
 counter = REGISTRY.counter
@@ -71,11 +78,12 @@ def enable(trace: bool = True) -> None:
 def disable() -> None:
     """Turn fine-grained instrumentation off (the default state).
 
-    The tracer (and its collected events) is dropped; coarse counters keep
-    accumulating -- use `reset` to zero them."""
-    global ENABLED, _TRACER
+    The tracer (and its collected events) and the ledger are dropped;
+    coarse counters keep accumulating -- use `reset` to zero them."""
+    global ENABLED, _TRACER, _LEDGER
     ENABLED = False
     _TRACER = None
+    _LEDGER = None
 
 
 def enabled() -> bool:
@@ -83,11 +91,13 @@ def enabled() -> bool:
 
 
 def reset() -> None:
-    """Zero all metrics and restart the tracer if one is active."""
-    global _TRACER
+    """Zero all metrics and restart the tracer/ledger if active."""
+    global _TRACER, _LEDGER
     REGISTRY.reset()
     if _TRACER is not None:
         _TRACER = Tracer()
+    if _LEDGER is not None:
+        _LEDGER = Ledger()
 
 
 def tracer() -> Optional[Tracer]:
@@ -113,6 +123,32 @@ def export_trace(path: str) -> int:
     if _TRACER is None:
         return 0
     return _TRACER.export_jsonl(path)
+
+
+def enable_ledger() -> None:
+    """Start a fresh verification ledger; `vcgen` appends one record per
+    obligation while one is active. Independent of `enable`/`ENABLED` --
+    ledger recording is per-obligation (not per-event), so it is cheap
+    enough to run without the fine-grained instrumentation."""
+    global _LEDGER
+    _LEDGER = Ledger()
+
+
+def disable_ledger() -> None:
+    global _LEDGER
+    _LEDGER = None
+
+
+def ledger() -> Optional[Ledger]:
+    return _LEDGER
+
+
+def export_ledger(path: str, volatile: bool = False) -> int:
+    """Write the active ledger as JSONL (canonical form unless
+    ``volatile``); returns the record count (0 when no ledger active)."""
+    if _LEDGER is None:
+        return 0
+    return _LEDGER.export_jsonl(path, volatile=volatile)
 
 
 def timed(name: str, cat: str = "repro"):

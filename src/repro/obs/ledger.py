@@ -1,0 +1,102 @@
+"""The verification ledger: one structured record per VC obligation.
+
+The metrics registry answers "how much effort did the run spend?"; the
+trace answers "when?". The ledger answers the attribution question in
+between: *which obligation* cost what, and why. Every call to
+``VC.prove`` (and the memory-safety bounds checks the symbolic executor
+discharges itself) appends one record carrying:
+
+* ``function``/``seq``/``context`` -- where the obligation sits in the
+  verification run (``seq`` is the per-function obligation index, so the
+  triple is a stable identity across runs);
+* ``loc`` -- the eDSL source location (``file:line``) of the statement
+  that raised the obligation, from the builder's frame stamping;
+* ``fp`` -- the content-addressed fingerprint of the query formula
+  (the same SHA-256 the proof cache keys on), linking the record to
+  cache entries and to identical obligations elsewhere;
+* ``status``/``tier`` -- proved/refuted/timeout/unprovable, and which
+  portfolio tier (or the cache, or the prescreener) settled it;
+* ``cache``/``prescreen`` -- hit/miss against the proof cache, and the
+  prescreener's discharge reason when it fired;
+* ``effort`` -- deterministic solver-effort counters (SAT decisions,
+  propagations, conflicts, CNF vars/clauses) attributed to this query.
+
+Records also carry a wall-clock duration and the worker pid, but those
+are *volatile*: they differ run to run and worker to worker. The
+canonical JSONL export therefore drops them by default, which is what
+makes the ledger byte-identical between ``--jobs 1`` and ``--jobs N``
+(the dispatcher merges worker records back in task-submission order).
+Pass ``volatile=True`` to keep them for profiling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+#: Record keys that legitimately differ between runs and between
+#: workers; stripped from the canonical export so ledgers diff clean.
+VOLATILE_KEYS = ("wall_us", "pid")
+
+#: The deterministic solver-effort counters attributed per query.
+EFFORT_KEYS = ("decisions", "propagations", "conflicts",
+               "cnf_vars", "cnf_clauses")
+
+
+class Ledger:
+    """An append-only in-memory list of obligation records."""
+
+    def __init__(self):
+        self.records: List[Dict] = []
+
+    def append(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def mark(self) -> int:
+        """The current length (dispatcher bookmark for worker deltas)."""
+        return len(self.records)
+
+    def since(self, mark: int) -> List[Dict]:
+        return self.records[mark:]
+
+    def absorb(self, records: Iterable[Dict],
+               pid: Optional[int] = None) -> int:
+        """Fold worker-side records back in, re-stamping the real pid."""
+        n = 0
+        for record in records:
+            if pid is not None:
+                record = dict(record, pid=pid)
+            self.records.append(record)
+            n += 1
+        return n
+
+    def canonical_lines(self, volatile: bool = False) -> List[str]:
+        """One sorted-key JSON string per record; volatile keys dropped
+        unless asked for. This is the byte-identity surface."""
+        lines = []
+        for record in self.records:
+            if not volatile:
+                record = {k: v for k, v in record.items()
+                          if k not in VOLATILE_KEYS}
+            lines.append(json.dumps(record, sort_keys=True))
+        return lines
+
+    def export_jsonl(self, path: str, volatile: bool = False) -> int:
+        """Write the ledger as JSONL; returns the record count."""
+        lines = self.canonical_lines(volatile=volatile)
+        with open(path, "w") as fh:
+            for line in lines:
+                fh.write(line)
+                fh.write("\n")
+        return len(lines)
+
+
+def load_jsonl(path: str) -> List[Dict]:
+    """Parse a ledger JSONL file back into record dicts."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

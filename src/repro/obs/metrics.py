@@ -101,6 +101,28 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, count: int, total: Number,
+              mn: Optional[Number], mx: Optional[Number],
+              buckets: Dict[int, int]) -> None:
+        """Fold another histogram's summary into this one.
+
+        Used by the dispatcher to merge worker-side observations back into
+        the parent registry. ``mn``/``mx`` are the other histogram's
+        extremes -- real observed samples, so taking the batch-wide
+        min/max stays exact even though individual samples are gone.
+        """
+        if count == 0:
+            return
+        self.count += count
+        self.total += total
+        if mn is not None and (self.min is None or mn < self.min):
+            self.min = mn
+        if mx is not None and (self.max is None or mx > self.max):
+            self.max = mx
+        for exponent, n in buckets.items():
+            exponent = int(exponent)
+            self.buckets[exponent] = self.buckets.get(exponent, 0) + n
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0

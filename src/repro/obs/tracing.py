@@ -7,17 +7,20 @@ Perfetto understand. Export is JSONL (one JSON object per line), the
 streaming-friendly variant of the format; see docs/observability.md for
 how to open the output.
 
-The tracer is single-process/single-thread by design (the whole
-verification stack is); ``pid``/``tid`` are constant. Timestamps are
-microseconds relative to tracer creation (``time.perf_counter`` based, so
-monotonic).
+Each tracer is single-threaded, but traces from worker processes can be
+folded into a parent tracer with :meth:`Tracer.absorb`: events carry the
+real ``pid`` and worker timestamps are rebased onto the parent's clock
+(``time.perf_counter`` is CLOCK_MONOTONIC on Linux, shared across
+processes, so the rebase is exact). Timestamps are microseconds relative
+to tracer creation.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 
 class _NullSpan:
@@ -71,8 +74,14 @@ class Tracer:
 
     def __init__(self):
         self._t0 = time.perf_counter()
+        self.pid = os.getpid()
         self.events: List[Dict] = []
         self.depth = 0
+
+    @property
+    def t0(self) -> float:
+        """The perf_counter origin (shipped to the parent for rebasing)."""
+        return self._t0
 
     def _ts(self) -> float:
         return (time.perf_counter() - self._t0) * 1e6
@@ -84,7 +93,7 @@ class Tracer:
     def begin(self, name: str, cat: str = "repro",
               args: Optional[Dict] = None) -> None:
         event = {"name": name, "cat": cat, "ph": "B", "ts": self._ts(),
-                 "pid": 1, "tid": 1}
+                 "pid": self.pid, "tid": 1}
         if args:
             event["args"] = dict(args)
         self.events.append(event)
@@ -96,7 +105,7 @@ class Tracer:
             return  # unbalanced end: drop rather than corrupt the tree
         self.depth -= 1
         event = {"name": name, "cat": cat, "ph": "E", "ts": self._ts(),
-                 "pid": 1, "tid": 1}
+                 "pid": self.pid, "tid": 1}
         if args:
             event["args"] = dict(args)
         self.events.append(event)
@@ -104,20 +113,49 @@ class Tracer:
     def instant(self, name: str, cat: str = "repro",
                 args: Optional[Dict] = None) -> None:
         event = {"name": name, "cat": cat, "ph": "i", "ts": self._ts(),
-                 "pid": 1, "tid": 1, "s": "t"}
+                 "pid": self.pid, "tid": 1, "s": "t"}
         if args:
             event["args"] = dict(args)
         self.events.append(event)
+
+    def absorb(self, events: Iterable[Dict], t0: Optional[float] = None,
+               pid: Optional[int] = None) -> int:
+        """Fold another tracer's events into this one.
+
+        ``t0`` is the source tracer's perf_counter origin; when given,
+        timestamps are rebased onto this tracer's timeline (valid because
+        perf_counter is a shared monotonic clock across processes on
+        Linux). ``pid`` re-stamps the events -- after a fork the worker's
+        inherited tracer may carry the parent's pid, and the parent knows
+        which worker each result came from. Returns the event count.
+        """
+        offset = 0.0 if t0 is None else (t0 - self._t0) * 1e6
+        n = 0
+        for event in events:
+            event = dict(event)
+            event["ts"] = event["ts"] + offset
+            if pid is not None:
+                event["pid"] = pid
+            self.events.append(event)
+            n += 1
+        return n
 
     def categories(self) -> Set[str]:
         return {e["cat"] for e in self.events}
 
     def span_tree(self) -> List[Dict]:
         """Reconstruct the span forest from B/E events (used by tests and
-        the JSONL validator): each node is {name, cat, children}."""
+        the JSONL validator): each node is {name, cat, children}.
+
+        Nesting is tracked per (pid, tid) stream, so a trace holding
+        absorbed worker events still reconstructs each process's spans
+        correctly rather than threading them through one stack.
+        """
         roots: List[Dict] = []
-        stack: List[Dict] = []
+        stacks: Dict[tuple, List[Dict]] = {}
         for event in self.events:
+            key = (event.get("pid", 1), event.get("tid", 1))
+            stack = stacks.setdefault(key, [])
             if event["ph"] == "B":
                 node = {"name": event["name"], "cat": event["cat"],
                         "children": []}

@@ -550,7 +550,7 @@ def run_verify_tasks(names, jobs=None, cache=None,
              for i, name in enumerate(names)]
     raw = dispatch.run_pool(_verify_worker, tasks, jobs, cache, "verify")
     reports = []
-    for _index, report, _, error, _, _, _ in raw:
+    for _index, report, _, error, _, _, _, _ in raw:
         if error is not None:
             kind, context, detail, model = error
             if kind == "VerificationError":

@@ -146,3 +146,45 @@ def test_counterexample_identical_across_process_boundary():
     for err in remote:
         assert err.model == local.model
         assert err.context == local.context
+
+
+def test_histograms_survive_the_process_boundary():
+    """Regression: `run_pool` used to ship only Counter values back, so
+    worker-side histogram observations (e.g. per-obligation wall times)
+    silently vanished under --jobs N. The observation *count* must match
+    the sequential run exactly."""
+    hist = obs.histogram("vcgen.obligation_seconds")
+    obs.REGISTRY.reset()
+    verify_doorlock(jobs=1)
+    sequential = hist.count
+    assert sequential > 0
+    obs.REGISTRY.reset()
+    verify_doorlock(jobs=4)
+    assert hist.count == sequential
+    assert hist.min is not None and hist.max is not None
+
+
+def test_worker_spans_are_aggregated_into_parent_trace():
+    """Worker-local spans come back through the pool and land in the
+    parent tracer rebased to its clock, re-stamped with the worker pid."""
+    import os
+
+    obs.enable(trace=True)
+    try:
+        verify_doorlock(jobs=2)
+        tr = obs.tracer()
+        pids = {e["pid"] for e in tr.events}
+        assert os.getpid() in pids          # parent dispatch spans
+        assert pids - {os.getpid()}         # plus real worker pids
+        worker_events = [e for e in tr.events
+                         if e["pid"] != os.getpid()]
+        assert any(e["ph"] == "B" and e["cat"] == "solver"
+                   for e in worker_events)
+        # Rebasing kept every worker timestamp inside the parent window.
+        parent_ts = [e["ts"] for e in tr.events
+                     if e["pid"] == os.getpid()]
+        for event in worker_events:
+            assert 0.0 <= event["ts"] <= max(parent_ts) + 1e6
+    finally:
+        obs.disable()
+        obs.REGISTRY.reset()

@@ -159,10 +159,9 @@ def test_timed_decorator():
 def test_full_stack_trace_includes_solver_and_cpu_spans(tmp_path):
     from repro.core.end2end import run_adversarial
     from repro.logic import terms as T
-    from repro.logic.solver import STATS, check_valid, reset_stats
+    from repro.logic.solver import check_valid, tier_counts
 
     obs.enable(trace=True)
-    reset_stats()
     # A solver query (exercises at least one portfolio tier)...
     x = T.var("x", 8)
     assert check_valid(T.eq(T.add(x, T.const(0, 8)), x)).valid
@@ -199,11 +198,24 @@ def test_full_stack_trace_includes_solver_and_cpu_spans(tmp_path):
     assert "riscv.run" in tree_names
     assert "end2end.run" in tree_names
 
-    # The deprecated STATS alias reads through to the registry.
-    assert sum(STATS.values()) >= 1
-    assert dict(STATS).keys() == {"structural", "interval", "sat"}
+    # Tier attribution lives in the registry (the deprecated STATS
+    # read-through alias is gone -- see test_solver_stats_alias_removed).
+    stats = tier_counts()
+    assert sum(stats.values()) >= 1
+    assert stats.keys() == {"structural", "interval", "sat"}
 
     # Key counters the CLI surfaces are non-zero.
     assert obs.counter("riscv.instructions").value == 60_000
     assert obs.counter("platform.bus_reads").value > 0
     assert obs.counter("end2end.prefix_checks").value > 0
+
+
+def test_solver_stats_alias_removed():
+    """The deprecated ``solver.STATS`` read-through (and its
+    ``reset_stats``) are gone; `tier_counts` is the supported read."""
+    from repro.logic import solver
+
+    assert not hasattr(solver, "STATS")
+    assert not hasattr(solver, "_TierStatsView")
+    assert not hasattr(solver, "reset_stats")
+    assert set(solver.tier_counts()) == {"structural", "interval", "sat"}
