@@ -77,14 +77,19 @@ def run_end_to_end(frames: Sequence[Tuple[int, bytes]] = (),
                    max_units: int = 400_000,
                    checkpoint_every: int = 2_000,
                    platform: Optional[Platform] = None,
-                   buggy_driver: bool = False) -> EndToEndResult:
+                   buggy_driver: bool = False,
+                   fast: bool = True) -> EndToEndResult:
     """Run the lightbulb system end to end and check the theorem.
 
     ``frames`` is a list of (checkpoint index, frame bytes) injections;
     ``processor`` selects the execution substrate: "isa" (the ISA-level
     machine -- fast), "kami-spec" (single-cycle Kami model) or "p4mm" (the
     pipelined Kami processor of the theorem statement). ``max_units`` is
-    instructions for "isa" and Kami steps otherwise.
+    instructions for "isa" and Kami steps otherwise. ``fast`` (``"isa"``
+    only) runs the machine through the fast-path engine
+    (`repro.riscv.fastpath`), which is differentially checked to be
+    bit-identical to the reference interpreter; pass ``fast=False`` to
+    force the reference loop.
     """
     compiled = compiled_lightbulb(buggy_driver=buggy_driver, stack_top=1 << 16)
     plat = platform if platform is not None else make_platform()
@@ -93,7 +98,7 @@ def run_end_to_end(frames: Sequence[Tuple[int, bytes]] = (),
 
     if processor == "isa":
         machine = RiscvMachine.with_program(compiled.image, mem_size=1 << 16,
-                                            mmio_bus=plat.bus)
+                                            mmio_bus=plat.bus, fast=fast)
         get_trace = lambda: machine.trace
         def advance(units):
             machine.run(units)
@@ -167,7 +172,8 @@ def run_end_to_end(frames: Sequence[Tuple[int, bytes]] = (),
 
 def run_adversarial(seed: int, n_frames: int = 12,
                     processor: str = "isa",
-                    max_units: int = 600_000) -> EndToEndResult:
+                    max_units: int = 600_000,
+                    fast: bool = True) -> EndToEndResult:
     """Fuzz the theorem: a pseudorandom adversarial packet stream.
 
     The stream comes from `repro.fuzz.generator.adversarial_frames`, the
@@ -178,13 +184,14 @@ def run_adversarial(seed: int, n_frames: int = 12,
     spacing = max(1, (max_units // 2_000) // (n_frames + 1))
     frames = [(5 + i * spacing, f) for i, f in enumerate(stream)]
     return run_end_to_end(frames=frames, processor=processor,
-                          max_units=max_units)
+                          max_units=max_units, fast=fast)
 
 
 def run_adversarial_suite(seeds: Sequence[int], n_frames: int = 12,
                           processor: str = "isa",
                           max_units: int = 600_000,
-                          jobs: int = 1) -> List[EndToEndResult]:
+                          jobs: int = 1,
+                          fast: bool = True) -> List[EndToEndResult]:
     """Fuzz the theorem across many seeds, ``jobs`` runs at a time.
 
     Each seed is an independent end-to-end execution, so the sweep is
@@ -194,12 +201,14 @@ def run_adversarial_suite(seeds: Sequence[int], n_frames: int = 12,
     """
     if jobs is None or jobs == 1 or len(seeds) <= 1:
         return [run_adversarial(seed, n_frames=n_frames,
-                                processor=processor, max_units=max_units)
+                                processor=processor, max_units=max_units,
+                                fast=fast)
                 for seed in seeds]
     from ..logic.dispatch import parallel_call
 
     kwargs_list = [{"seed": seed, "n_frames": n_frames,
-                    "processor": processor, "max_units": max_units}
+                    "processor": processor, "max_units": max_units,
+                    "fast": fast}
                    for seed in seeds]
     return parallel_call("repro.core.end2end:run_adversarial",
                          kwargs_list, jobs=jobs)

@@ -10,7 +10,12 @@ interp           big-step interpreter (`repro.bedrock2.semantics`) --
                  program (a generator bug), never a divergence
 smallstep        small-step semantics (`repro.bedrock2.smallstep`)
 compiled         compiled RV32IM binary on the ISA spec machine
-                 (`repro.riscv.machine`)
+                 (`repro.riscv.machine`), reference interpreter loop
+fast             the same binary on the same machine through the
+                 fast-path engine (`repro.riscv.fastpath`: decode cache
+                 + fused blocks + flat RAM); additionally compared
+                 against the "compiled" layer's *full machine state*
+                 (registers, pc, instret, memory, XAddrs, trace)
 kami-spec        the same binary on the single-cycle Kami processor
 kami-pipelined   the same binary on the paper's p4mm pipeline
 ===============  ==========================================================
@@ -60,6 +65,7 @@ from ..kami.framework import ExternalWorld, System
 from ..kami.refinement import match_trace_prefix
 from ..kami.spec_proc import make_spec_processor
 from ..logic import terms as T
+from ..riscv.fastpath import machine_state_diff
 from ..riscv.machine import RiscvMachine, RiscvUB
 from .generator import (
     DEV_BASE,
@@ -71,7 +77,8 @@ from .generator import (
 )
 
 #: Stop-at-first-divergence comparison order; "interp" is the reference.
-LAYERS = ("interp", "smallstep", "compiled", "kami-spec", "kami-pipelined")
+LAYERS = ("interp", "smallstep", "compiled", "fast", "kami-spec",
+          "kami-pipelined")
 
 _MEM_SIZE = 1 << 16          # machine RAM [0, 0x10000): image, scratch, stack
 _STACK_TOP = 1 << 16
@@ -176,24 +183,28 @@ def _run_smallstep(program: Program) -> LayerOutcome:
                         trace=to_mmio_triples(state.trace))
 
 
-def _run_compiled(program: Program, compiled, n_rets: int) -> Tuple[LayerOutcome, int]:
-    """Returns the outcome plus the retired-instruction count (the step
-    budget reference for both Kami layers)."""
+def _run_machine(name: str, compiled, n_rets: int,
+                 fast: bool) -> Tuple[LayerOutcome, RiscvMachine]:
+    """Run the compiled binary on the ISA machine (reference interpreter
+    loop or the fast-path engine); returns the outcome plus the final
+    machine, kept for full-state comparison and for the retired
+    instruction count (the step budget reference for both Kami layers)."""
     dev = SyntheticDevice()
     machine = RiscvMachine.with_program(compiled.image, base=0, pc=0,
-                                        mem_size=_MEM_SIZE, mmio_bus=dev)
+                                        mem_size=_MEM_SIZE, mmio_bus=dev,
+                                        fast=fast)
     machine.run(_MAX_MACHINE_STEPS, until_pc=compiled.halt_pc)
     if machine.pc != compiled.halt_pc:
-        return (LayerOutcome("compiled", status="timeout",
+        return (LayerOutcome(name, status="timeout",
                              trace=list(machine.trace),
                              detail="no halt within %d steps"
                              % _MAX_MACHINE_STEPS),
-                machine.instret)
+                machine)
     rets = tuple(machine.get_register(10 + i) for i in range(n_rets))
     scratch = bytes(machine.mem[SCRATCH_BASE + i] for i in range(SCRATCH_SIZE))
-    return (LayerOutcome("compiled", rets=rets, scratch=scratch,
+    return (LayerOutcome(name, rets=rets, scratch=scratch,
                          trace=list(machine.trace)),
-            machine.instret)
+            machine)
 
 
 def _scratch_from_ram(ram: Sequence[int]) -> bytes:
@@ -353,17 +364,39 @@ def run_differential(program: Program,
                          % len(compiled.image)})
 
     ref_instret = 0
+    ref_machine = None
     if "compiled" in layers:
         result["layers"].append("compiled")
         try:
-            machine_out, ref_instret = _timed(
-                "compiled", lambda: _run_compiled(program, compiled, n_rets))
+            machine_out, ref_machine = _timed(
+                "compiled",
+                lambda: _run_machine("compiled", compiled, n_rets, False))
         except RiscvUB as exc:
             return diverged({"layer": "compiled", "kind": "crash",
                              "detail": "RiscvUB: %s" % exc})
+        ref_instret = ref_machine.instret
         record = _compare(reference, machine_out)
         if record:
             return diverged(record)
+
+    if "fast" in layers:
+        result["layers"].append("fast")
+        try:
+            fast_out, fast_machine = _timed(
+                "fast", lambda: _run_machine("fast", compiled, n_rets, True))
+        except RiscvUB as exc:
+            return diverged({"layer": "fast", "kind": "crash",
+                             "detail": "RiscvUB: %s" % exc})
+        record = _compare(reference, fast_out)
+        if record:
+            return diverged(record)
+        if ref_machine is not None:
+            # Beyond the observable outcome, the fast engine must leave
+            # the machine in the *bit-identical* final state.
+            state_diff = machine_state_diff(ref_machine, fast_machine)
+            if state_diff:
+                return diverged({"layer": "fast", "kind": "machine-state",
+                                 "detail": state_diff})
 
     if "kami-spec" in layers:
         result["layers"].append("kami-spec")

@@ -9,6 +9,8 @@ checked (`repro.kami.decexec`). Round-tripping is property-tested in
 
 from __future__ import annotations
 
+from typing import Dict
+
 from .insts import Instr, InvalidInstruction
 
 _R_BY_FUNCT = {
@@ -108,3 +110,22 @@ def decode(word: int) -> Instr:
         return Instr("jalr", rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
 
     raise InvalidInstruction(word)
+
+
+#: `decode` memo, keyed by the raw word. `Instr` is a frozen value type
+#: and `decode` is pure, so entries are shared freely across machines;
+#: being content-addressed, the memo never needs invalidation. Invalid
+#: words are not negatively cached (they end a run anyway).
+_DECODE_CACHE: Dict[int, Instr] = {}
+_DECODE_CACHE_MAX = 1 << 16
+
+
+def decode_cached(word: int) -> Instr:
+    """`decode` through the process-wide raw-word memo."""
+    instr = _DECODE_CACHE.get(word)
+    if instr is None:
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+            _DECODE_CACHE.clear()
+        instr = decode(word)
+        _DECODE_CACHE[word] = instr
+    return instr

@@ -1,0 +1,591 @@
+"""Fast-path execution engine for the ISA-level RISC-V machine.
+
+The reference interpreter in `repro.riscv.machine` pays, on every single
+step, for a byte-at-a-time owned-memory fetch, a fresh `decode`, and the
+long dispatch chain in `repro.riscv.semantics.execute`. Every end-to-end
+theorem check, fuzz layer, and adversarial sweep bottoms out in that
+loop, so this module provides a second engine that is required to be
+**bit-identical** to the reference -- same registers, memory, PC,
+``instret``, MMIO trace, XAddrs set, and exceptions -- while skipping
+the per-step interpretation overhead:
+
+* a **decoded-instruction cache** keyed by the raw 32-bit instruction
+  word. Each entry holds a *specialized executor closure* with the
+  operands, immediates, and masks pre-bound, so executing a cached
+  instruction is one zero-argument call. The cache is content-addressed
+  (the key is the instruction bytes themselves), so it never needs
+  invalidation;
+* **basic-block discovery and fusion**: straight-line runs of
+  instructions are fetched once -- through the reference
+  ``load(kind="fetch")`` path, so owned-memory and stale-instruction
+  (XAddrs) undefined behavior is detected exactly as the reference
+  would -- and replayed as a list of closures with no per-step fetch.
+  Stores into cached code invalidate the covering blocks (see below),
+  re-arming the reference fetch checks;
+* **flat RAM access**: executor closures read and write the contiguous
+  `MachineMemory.ram` bytearray directly (the dict-of-bytes view stays
+  the reference model); sparse bytes, MMIO, and loan-checked accesses
+  fall back to the reference `machine.load`/`machine.store`, so traces
+  and UB are identical by construction.
+
+Invalidation uses 64-byte *code pages*: every built block registers the
+pages its instruction bytes span, and every store probes the page map
+(one dict lookup on the hot path). A hit removes all blocks on the
+touched pages and bumps the engine generation counter, which the block
+execution loop re-checks after every instruction -- so even a store into
+the *currently executing* block aborts fused execution and falls back to
+a reference fetch, which then raises the stale-instruction UB exactly
+like the interpreter. `loan_out`/`loan_return` (DMA ownership transfer)
+and `MachineMemory` writes from outside the engine bump epochs that
+flush all blocks on the next run.
+
+Known limitation: writing the `MachineMemory.ram` bytearray directly
+(not through ``machine.mem[addr] = v`` or the machine's store path)
+bypasses invalidation; no code in the repository does that after a
+machine has started executing.
+
+The engine also serves the instrumented (observability) run loop: each
+decode-cache entry carries a per-opcode execution count slot, so
+per-opcode statistics cost one attribute increment per step instead of a
+dict get/put (see `RiscvMachine._run_instrumented`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from .. import obs
+from ..bedrock2 import word
+from .decode import decode_cached
+from .insts import InvalidInstruction, Instr
+from .machine import RiscvUB
+from .semantics import LOAD_SIZES, STORE_SIZES
+
+MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+#: Longest fused basic block, in instructions.
+MAX_BLOCK = 64
+
+#: Stores probe the block map at this granularity (64-byte pages).
+PAGE_SHIFT = 6
+
+#: Mnemonics that set the PC non-sequentially and therefore end a block.
+ENDS_BLOCK = frozenset(("beq", "bne", "blt", "bge", "bltu", "bgeu",
+                        "jal", "jalr"))
+
+# Cold-path metrics only: the hot loop increments nothing per step
+# (dispatch counts are accumulated locally and flushed per `run` call).
+_DCACHE_MISSES = obs.counter("riscv.fast.dcache_misses")
+_BLOCKS_BUILT = obs.counter("riscv.fast.blocks_built")
+_INVALIDATIONS = obs.counter("riscv.fast.invalidations")
+_BLOCK_RUNS = obs.counter("riscv.fast.block_runs")
+_BLOCK_LEN = obs.histogram("riscv.fast.block_len")
+
+# R-type / I-type arithmetic, specialized where hot and delegated to
+# `word` where cold; all results are exactly the reference's.
+_ALU_OPS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: (a + b) & MASK,
+    "sub": lambda a, b: (a - b) & MASK,
+    "sll": lambda a, b: (a << (b & 31)) & MASK,
+    "slt": lambda a, b: 1 if (a ^ _SIGN) < (b ^ _SIGN) else 0,
+    "sltu": lambda a, b: 1 if a < b else 0,
+    "xor": lambda a, b: a ^ b,
+    "srl": lambda a, b: a >> (b & 31),
+    "sra": lambda a, b: (word.signed(a) >> (b & 31)) & MASK,
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+    "mul": lambda a, b: (a * b) & MASK,
+    "mulh": lambda a, b: ((word.signed(a) * word.signed(b)) >> 32) & MASK,
+    "mulhsu": lambda a, b: ((word.signed(a) * b) >> 32) & MASK,
+    "mulhu": word.mulhuu,
+    "div": word.divs,
+    "divu": word.divu,
+    "rem": word.rems,
+    "remu": word.remu,
+}
+
+#: I-type arithmetic reuses the R-type op on a pre-wrapped immediate
+#: (`execute` does word.op(rs1, wrap(imm)) -- same composition).
+_I_ALU = {"addi": "add", "slti": "slt", "sltiu": "sltu", "xori": "xor",
+          "ori": "or", "andi": "and",
+          "slli": "sll", "srli": "srl", "srai": "sra"}
+
+
+def machine_state_diff(ref, fast) -> Optional[str]:
+    """First observable difference between two machines' final states,
+    or None when they are bit-identical.
+
+    This is the fast-vs-reference equivalence check used by the fuzz
+    oracle's "fast" layer and the corpus-replay tier-1 test: *everything*
+    the ISA machine exposes is compared -- registers, PC, retired
+    instruction count, the full owned memory (flat RAM and sparse
+    bytes), the MMIO trace, and the XAddrs complement set.
+    """
+    if fast.instret != ref.instret:
+        return "instret %d vs %d" % (fast.instret, ref.instret)
+    if fast.pc != ref.pc:
+        return "pc %#x vs %#x" % (fast.pc, ref.pc)
+    if fast.regs != ref.regs:
+        i = next(i for i in range(32) if fast.regs[i] != ref.regs[i])
+        return "x%d = %#x vs %#x" % (i, fast.regs[i], ref.regs[i])
+    if fast.trace != ref.trace:
+        return "MMIO trace %r vs %r" % (fast.trace[-4:], ref.trace[-4:])
+    if fast.mem.ram != ref.mem.ram:
+        i = next(i for i, (a, b) in enumerate(zip(fast.mem.ram,
+                                                  ref.mem.ram)) if a != b)
+        return ("ram[%#x] = %#x vs %#x"
+                % (fast.mem.ram_base + i, fast.mem.ram[i], ref.mem.ram[i]))
+    if fast.mem.extra != ref.mem.extra:
+        return "sparse memory differs"
+    if fast.nonexec != ref.nonexec:
+        return ("nonexec sets differ (symmetric difference %r)"
+                % sorted(fast.nonexec ^ ref.nonexec)[:8])
+    return None
+
+
+class DecodedEntry:
+    """One decode-cache entry: the raw word's specialized executor."""
+
+    __slots__ = ("raw", "name", "ex", "ends_block", "count")
+
+    def __init__(self, raw: int, name: str, ex: Callable[[], None],
+                 ends_block: bool):
+        self.raw = raw
+        self.name = name
+        self.ex = ex
+        self.ends_block = ends_block
+        self.count = 0  # per-opcode execution count (instrumented runs)
+
+
+class Block:
+    """A fused basic block: executors for [start, start + 4*n)."""
+
+    __slots__ = ("start", "code", "n", "pages")
+
+    def __init__(self, start: int, code: List[Callable[[], None]],
+                 pages: range):
+        self.start = start
+        self.code = code
+        self.n = len(code)
+        self.pages = pages
+
+
+class FastEngine:
+    """Per-machine fast executor; created lazily by `RiscvMachine`."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.mem = machine.mem
+        self.dcache: Dict[int, DecodedEntry] = {}
+        self.blocks: Dict[int, Block] = {}
+        self.code_pages: Dict[int, Set[int]] = {}
+        #: Bumped on every block invalidation; the block loop re-checks it
+        #: after each instruction so self-modifying stores abort fusion.
+        self.gen = 0
+        self._mem_epoch = self.mem.epoch
+
+    # -- decode cache ---------------------------------------------------------
+
+    def entry_for(self, raw: int, pc: int) -> DecodedEntry:
+        """The (cached) specialized executor for an instruction word."""
+        entry = self.dcache.get(raw)
+        if entry is None:
+            _DCACHE_MISSES.inc()
+            try:
+                instr = decode_cached(raw)
+            except InvalidInstruction as exc:
+                raise RiscvUB("invalid instruction at pc=0x%x: %s"
+                              % (pc, exc)) from exc
+            entry = DecodedEntry(raw, instr.name, self._compile(instr),
+                                 instr.name in ENDS_BLOCK)
+            self.dcache[raw] = entry
+        return entry
+
+    def flush_opcounts(self) -> None:
+        """Move per-entry execution counts into the `riscv.op.*` counters."""
+        for entry in self.dcache.values():
+            if entry.count:
+                obs.counter("riscv.op." + entry.name).inc(entry.count)
+                entry.count = 0
+
+    # -- specialization -------------------------------------------------------
+
+    def _compile(self, instr: Instr) -> Callable[[], None]:
+        """Build the zero-argument executor closure for one instruction.
+
+        Closures replicate `semantics.execute` on `RiscvMachine`
+        primitives *exactly*, including effect order (e.g. jal/jalr link
+        before the target-alignment check) and exception messages.
+        """
+        m = self.machine
+        regs = m.regs
+        mem = self.mem
+        ram = mem.ram
+        base = mem.ram_base
+        eng = self
+        name = instr.name
+        rd = instr.rd
+        rs1 = instr.rs1
+        rs2 = instr.rs2
+        imm = instr.imm
+        imm_w = word.wrap(imm) if imm is not None else 0
+        nonexec = m.nonexec
+
+        def advance() -> None:
+            """Shared straight-line epilogue for rd == x0 no-ops."""
+            npc = (m.pc + 4) & MASK
+            if npc & 3:
+                raise RiscvUB("misaligned jump target 0x%x" % npc)
+            m.pc = npc
+            m.instret += 1
+
+        if name in _ALU_OPS or name in _I_ALU:
+            op = _ALU_OPS[_I_ALU.get(name, name)]
+            if rd == 0:
+                return advance  # pure ALU write to x0: PC/instret only
+            if name == "addi":
+                def ex() -> None:
+                    regs[rd] = (regs[rs1] + imm_w) & MASK
+                    npc = (m.pc + 4) & MASK
+                    if npc & 3:
+                        raise RiscvUB("misaligned jump target 0x%x" % npc)
+                    m.pc = npc
+                    m.instret += 1
+                return ex
+            if name == "add":
+                def ex() -> None:
+                    regs[rd] = (regs[rs1] + regs[rs2]) & MASK
+                    npc = (m.pc + 4) & MASK
+                    if npc & 3:
+                        raise RiscvUB("misaligned jump target 0x%x" % npc)
+                    m.pc = npc
+                    m.instret += 1
+                return ex
+            if name in _I_ALU:
+                # Shift-immediates store the shamt in `imm` unwrapped;
+                # wrap() is the identity on 0..31 so imm_w covers both.
+                def ex() -> None:
+                    regs[rd] = op(regs[rs1], imm_w)
+                    npc = (m.pc + 4) & MASK
+                    if npc & 3:
+                        raise RiscvUB("misaligned jump target 0x%x" % npc)
+                    m.pc = npc
+                    m.instret += 1
+                return ex
+
+            def ex() -> None:
+                regs[rd] = op(regs[rs1], regs[rs2])
+                npc = (m.pc + 4) & MASK
+                if npc & 3:
+                    raise RiscvUB("misaligned jump target 0x%x" % npc)
+                m.pc = npc
+                m.instret += 1
+            return ex
+
+        if name in LOAD_SIZES:
+            size = LOAD_SIZES[name]
+            hi = base + len(ram) - size
+            sign_bit = {"lb": 0x80, "lh": 0x8000}.get(name, 0)
+            sign_ext = {0x80: 0xFFFFFF00, 0x8000: 0xFFFF0000}.get(sign_bit, 0)
+            align = size - 1
+
+            def ex() -> None:
+                a = (regs[rs1] + imm_w) & MASK
+                if a & align:
+                    raise RiscvUB("misaligned load at 0x%x" % a)
+                if base <= a <= hi and not m.loans:
+                    off = a - base
+                    if size == 4:
+                        v = (ram[off] | ram[off + 1] << 8
+                             | ram[off + 2] << 16 | ram[off + 3] << 24)
+                    elif size == 2:
+                        v = ram[off] | ram[off + 1] << 8
+                    else:
+                        v = ram[off]
+                else:
+                    v = m.load(size, a)
+                if sign_bit and v & sign_bit:
+                    v |= sign_ext
+                if rd:
+                    regs[rd] = v
+                npc = (m.pc + 4) & MASK
+                if npc & 3:
+                    raise RiscvUB("misaligned jump target 0x%x" % npc)
+                m.pc = npc
+                m.instret += 1
+            return ex
+
+        if name in STORE_SIZES:
+            size = STORE_SIZES[name]
+            hi = base + len(ram) - size
+            smask = (1 << (8 * size)) - 1
+            align = size - 1
+            pages = self.code_pages
+
+            def ex() -> None:
+                a = (regs[rs1] + imm_w) & MASK
+                if a & align:
+                    raise RiscvUB("misaligned store at 0x%x" % a)
+                v = regs[rs2] & smask
+                if base <= a <= hi and not m.loans:
+                    off = a - base
+                    ram[off] = v & 0xFF
+                    if size > 1:
+                        ram[off + 1] = (v >> 8) & 0xFF
+                        if size > 2:
+                            ram[off + 2] = (v >> 16) & 0xFF
+                            ram[off + 3] = (v >> 24) & 0xFF
+                    if m.track_xaddrs:
+                        nonexec.add(a)
+                        if size > 1:
+                            nonexec.add(a + 1)
+                            if size > 2:
+                                nonexec.add(a + 2)
+                                nonexec.add(a + 3)
+                else:
+                    m.store(size, a, v)
+                if (a >> PAGE_SHIFT in pages
+                        or (a + size - 1) >> PAGE_SHIFT in pages):
+                    eng.invalidate(a, size)
+                npc = (m.pc + 4) & MASK
+                if npc & 3:
+                    raise RiscvUB("misaligned jump target 0x%x" % npc)
+                m.pc = npc
+                m.instret += 1
+            return ex
+
+        if name in ("beq", "bne", "bltu", "bgeu"):
+            cond = {"beq": lambda a, b: a == b,
+                    "bne": lambda a, b: a != b,
+                    "bltu": lambda a, b: a < b,
+                    "bgeu": lambda a, b: a >= b}[name]
+
+            def ex() -> None:
+                pc = m.pc
+                if cond(regs[rs1], regs[rs2]):
+                    npc = (pc + imm_w) & MASK
+                else:
+                    npc = (pc + 4) & MASK
+                if npc & 3:
+                    raise RiscvUB("misaligned jump target 0x%x" % npc)
+                m.pc = npc
+                m.instret += 1
+            return ex
+
+        if name in ("blt", "bge"):
+            want_lt = name == "blt"
+
+            def ex() -> None:
+                pc = m.pc
+                lt = (regs[rs1] ^ _SIGN) < (regs[rs2] ^ _SIGN)
+                if lt == want_lt:
+                    npc = (pc + imm_w) & MASK
+                else:
+                    npc = (pc + 4) & MASK
+                if npc & 3:
+                    raise RiscvUB("misaligned jump target 0x%x" % npc)
+                m.pc = npc
+                m.instret += 1
+            return ex
+
+        if name == "lui":
+            value = (imm << 12) & MASK
+            if rd == 0:
+                return advance
+
+            def ex() -> None:
+                regs[rd] = value
+                npc = (m.pc + 4) & MASK
+                if npc & 3:
+                    raise RiscvUB("misaligned jump target 0x%x" % npc)
+                m.pc = npc
+                m.instret += 1
+            return ex
+
+        if name == "auipc":
+            offset = (imm << 12) & MASK
+            if rd == 0:
+                return advance
+
+            def ex() -> None:
+                pc = m.pc
+                regs[rd] = (pc + offset) & MASK
+                npc = (pc + 4) & MASK
+                if npc & 3:
+                    raise RiscvUB("misaligned jump target 0x%x" % npc)
+                m.pc = npc
+                m.instret += 1
+            return ex
+
+        if name == "jal":
+            def ex() -> None:
+                pc = m.pc
+                if rd:
+                    regs[rd] = (pc + 4) & MASK
+                npc = (pc + imm_w) & MASK
+                if npc & 3:
+                    raise RiscvUB("misaligned jump target 0x%x" % npc)
+                m.pc = npc
+                m.instret += 1
+            return ex
+
+        if name == "jalr":
+            def ex() -> None:
+                pc = m.pc
+                target = (regs[rs1] + imm_w) & 0xFFFFFFFE
+                if rd:
+                    regs[rd] = (pc + 4) & MASK
+                if target & 3:
+                    raise RiscvUB("misaligned jump target 0x%x" % target)
+                m.pc = target
+                m.instret += 1
+            return ex
+
+        # `decode` only produces the mnemonics handled above; anything
+        # else is a decoder extension this engine does not know yet.
+        raise RiscvUB("unimplemented instruction %r" % name)
+
+    # -- basic blocks ---------------------------------------------------------
+
+    def build_block(self, start: int) -> Block:
+        """Fetch (with full reference UB checks) and fuse a straight-line
+        block starting at ``start``.
+
+        A fetch or decode failure *after* the first instruction truncates
+        the block instead of raising: the reference only faults when
+        execution actually reaches that PC, and the dispatch loop's next
+        fetch at the fall-through PC reproduces the fault at the right
+        time with the right message.
+        """
+        m = self.machine
+        code: List[Callable[[], None]] = []
+        pc = start
+        while True:
+            try:
+                raw = m.load(4, pc, kind="fetch")
+                entry = self.entry_for(raw, pc)
+            except RiscvUB:
+                if not code:
+                    raise
+                break
+            code.append(entry.ex)
+            if entry.ends_block or len(code) >= MAX_BLOCK:
+                break
+            pc = (pc + 4) & MASK
+        pages = range(start >> PAGE_SHIFT,
+                      ((start + 4 * len(code) - 1) >> PAGE_SHIFT) + 1)
+        block = Block(start, code, pages)
+        self.blocks[start] = block
+        for p in pages:
+            self.code_pages.setdefault(p, set()).add(start)
+        _BLOCKS_BUILT.inc()
+        _BLOCK_LEN.record(len(code))
+        return block
+
+    def invalidate(self, addr: int, nbytes: int) -> None:
+        """Drop every cached block on the code pages touched by a store
+        to [addr, addr+nbytes); bumps the generation counter so in-flight
+        fused execution re-dispatches through a reference fetch."""
+        lo = addr >> PAGE_SHIFT
+        hi = (addr + nbytes - 1) >> PAGE_SHIFT
+        hit = False
+        for p in range(lo, hi + 1):
+            starts = self.code_pages.get(p)
+            if not starts:
+                continue
+            hit = True
+            for s in tuple(starts):
+                block = self.blocks.pop(s, None)
+                if block is None:
+                    continue
+                for q in block.pages:
+                    qs = self.code_pages.get(q)
+                    if qs is not None:
+                        qs.discard(s)
+                        if not qs:
+                            del self.code_pages[q]
+        if hit:
+            _INVALIDATIONS.inc()
+            self.gen += 1
+
+    def flush(self) -> None:
+        """Invalidate every cached block (ownership or memory changed
+        behind the engine's back: DMA loans, sparse writes, test pokes)."""
+        self.blocks.clear()
+        self.code_pages.clear()
+        self.gen += 1
+
+    # -- execution ------------------------------------------------------------
+
+    def _sync(self) -> None:
+        if self.mem.epoch != self._mem_epoch:
+            self.flush()
+            self._mem_epoch = self.mem.epoch
+
+    def run(self, max_steps: int, until_pc: Optional[int] = None) -> int:
+        """Fused block execution; the fast analogue of `RiscvMachine.run`
+        without a stop predicate. Returns the number of steps taken."""
+        self._sync()
+        m = self.machine
+        blocks = self.blocks
+        taken = 0
+        dispatches = 0
+        try:
+            while taken < max_steps:
+                pc = m.pc
+                if pc == until_pc:
+                    break
+                block = blocks.get(pc)
+                if block is None:
+                    block = self.build_block(pc)
+                dispatches += 1
+                code = block.code
+                n = block.n
+                budget = max_steps - taken
+                if n > budget:
+                    n = budget
+                if until_pc is not None:
+                    d = (until_pc - pc) & MASK
+                    if not d & 3:
+                        stop_at = d >> 2
+                        if stop_at < n:
+                            n = stop_at
+                gen0 = self.gen
+                i = 0
+                while i < n:
+                    code[i]()
+                    i += 1
+                    if self.gen != gen0:
+                        break  # a store hit cached code: re-dispatch
+                taken += i
+        finally:
+            if dispatches:
+                _BLOCK_RUNS.inc(dispatches)
+        return taken
+
+    def run_steps(self, max_steps: int, until_pc: Optional[int] = None,
+                  stop=None, counted: bool = False) -> int:
+        """Single-step execution through the decode cache: every step does
+        the full reference fetch (so arbitrary ``stop`` predicates and
+        external memory writes are observed exactly as the reference
+        would), but decode+dispatch cost one dict probe and one call.
+        ``counted`` accumulates per-opcode counts on the cache entries."""
+        m = self.machine
+        dcache = self.dcache
+        taken = 0
+        while taken < max_steps:
+            pc = m.pc
+            if pc == until_pc:
+                break
+            if stop is not None and stop(m):
+                break
+            raw = m.load(4, pc, kind="fetch")
+            entry = dcache.get(raw)
+            if entry is None:
+                entry = self.entry_for(raw, pc)
+            entry.ex()
+            if counted:
+                entry.count += 1
+            taken += 1
+        return taken

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .. import obs
 from ..bedrock2 import word
-from .decode import decode
+from .decode import decode_cached
 from .insts import Instr, InvalidInstruction
 from .semantics import Primitives, execute
 
@@ -46,13 +46,17 @@ class MachineMemory:
     map-of-bytes model in the paper's semantics, while staying O(1) in
     space for the common "RAM at 0" layout."""
 
-    __slots__ = ("ram", "ram_base", "extra")
+    __slots__ = ("ram", "ram_base", "extra", "epoch")
 
     def __init__(self, ram_size: int = 0, ram_base: int = 0,
                  sparse: Optional[Dict[int, int]] = None):
         self.ram = bytearray(ram_size)
         self.ram_base = ram_base
         self.extra: Dict[int, int] = dict(sparse) if sparse else {}
+        # Bumped on every subscript/`add_byte` write so the fast-path
+        # engine (repro.riscv.fastpath) can detect memory modified behind
+        # its back (test pokes, DMA returns) and drop its fused blocks.
+        self.epoch = 0
 
     def __contains__(self, addr: int) -> bool:
         return (self.ram_base <= addr < self.ram_base + len(self.ram)
@@ -70,6 +74,7 @@ class MachineMemory:
             self.extra[addr] = value & 0xFF
         else:
             raise KeyError(addr)
+        self.epoch += 1
 
     def add_byte(self, addr: int, value: int) -> None:
         """Extend the owned footprint by one byte (test setup helper)."""
@@ -77,6 +82,7 @@ class MachineMemory:
             self[addr] = value
         else:
             self.extra[addr] = value & 0xFF
+            self.epoch += 1
 
 
 class RiscvMachine(Primitives):
@@ -84,7 +90,8 @@ class RiscvMachine(Primitives):
 
     def __init__(self, memory: Optional[Dict[int, int]] = None, pc: int = 0,
                  mmio_bus=None, track_xaddrs: bool = True,
-                 mmio_ranges: Optional[List[Tuple[int, int]]] = None):
+                 mmio_ranges: Optional[List[Tuple[int, int]]] = None,
+                 fast: bool = False):
         self.regs = [0] * 32
         self.pc = pc
         self.mem = MachineMemory(sparse=memory)
@@ -98,6 +105,12 @@ class RiscvMachine(Primitives):
         # list of (base, length). CPU access inside a loan is UB.
         self.loans: List[Tuple[int, int]] = []
         self.instret = 0
+        # Fast-path execution (repro.riscv.fastpath): decode cache +
+        # fused basic blocks, required to be bit-identical to `step`.
+        # The engine is created lazily so `with_program` can swap the
+        # memory in first.
+        self.fast = fast
+        self._fast_engine = None
 
     @classmethod
     def with_program(cls, image: bytes, base: int = 0, pc: int = 0,
@@ -143,6 +156,10 @@ class RiscvMachine(Primitives):
         CPU accesses inside the region become undefined behavior until the
         region is returned."""
         self.loans.append((base, length))
+        if self._fast_engine is not None:
+            # Fused blocks cache successful fetches; a loan may cover
+            # code, making those fetches UB, so re-arm the checks.
+            self._fast_engine.flush()
 
     def loan_return(self, base: int, data: Optional[bytes] = None) -> None:
         """Return a loaned region, optionally with new contents written by
@@ -155,6 +172,8 @@ class RiscvMachine(Primitives):
                         self.mem[base + j] = byte
                         if self.track_xaddrs:
                             self.nonexec.add(base + j)
+                if self._fast_engine is not None:
+                    self._fast_engine.flush()
                 return
         raise ValueError("no outstanding loan at 0x%x" % base)
 
@@ -221,7 +240,7 @@ class RiscvMachine(Primitives):
         instruction (used by the instrumented run loop)."""
         raw = self.load(4, self.pc, kind="fetch")
         try:
-            instr = decode(raw)
+            instr = decode_cached(raw)
         except InvalidInstruction as exc:
             raise RiscvUB("invalid instruction at pc=0x%x: %s"
                           % (self.pc, exc)) from exc
@@ -229,16 +248,38 @@ class RiscvMachine(Primitives):
         self.instret += 1
         return instr
 
+    def _engine(self):
+        """The lazily created fast-path engine (`repro.riscv.fastpath`).
+
+        Rebuilt when the memory object was swapped out after construction
+        (`with_program` does this), since the engine's executor closures
+        bind the RAM buffer directly."""
+        engine = self._fast_engine
+        if engine is None or engine.mem is not self.mem:
+            from .fastpath import FastEngine  # deferred: cyclic import
+
+            engine = self._fast_engine = FastEngine(self)
+        return engine
+
     def run(self, max_steps: int, until_pc: Optional[int] = None,
             stop: Optional[Callable[["RiscvMachine"], bool]] = None) -> int:
         """Step up to ``max_steps`` times; returns the number of steps taken.
 
         Stops early when the PC reaches ``until_pc`` or ``stop(self)`` holds
-        (checked before each step)."""
+        (checked before each step). With ``fast`` set, execution goes
+        through the fast-path engine -- fused basic blocks when no ``stop``
+        predicate is given (the predicate must see every intermediate
+        state, so it forces single-stepping) -- with identical observable
+        behavior."""
         if obs.ENABLED:
             return self._run_instrumented(max_steps, until_pc, stop)
         start = self.instret
         try:
+            if self.fast:
+                engine = self._engine()
+                if stop is None:
+                    return engine.run(max_steps, until_pc)
+                return engine.run_steps(max_steps, until_pc, stop)
             for i in range(max_steps):
                 if until_pc is not None and self.pc == until_pc:
                     return i
@@ -253,12 +294,28 @@ class RiscvMachine(Primitives):
                           until_pc: Optional[int] = None,
                           stop: Optional[Callable[["RiscvMachine"], bool]]
                           = None) -> int:
-        """`run` with a span and per-opcode execution counts (obs enabled)."""
-        opcounts: Dict[str, int] = {}
+        """`run` with a span and per-opcode execution counts (obs enabled).
+
+        On a ``fast`` machine the per-opcode counts live on the decode
+        cache entries -- one integer add per step instead of a dict
+        get/put -- and are flushed to the ``riscv.op.*`` counters at run
+        boundaries, so instrumented runs stay near fast-path speed."""
         start = self.instret
         taken = max_steps
         with obs.span("riscv.run", cat="riscv",
                       args={"max_steps": max_steps}) as sp:
+            if self.fast:
+                engine = self._engine()
+                try:
+                    taken = engine.run_steps(max_steps, until_pc, stop,
+                                             counted=True)
+                finally:
+                    retired = self.instret - start
+                    _INSTRUCTIONS.inc(retired)
+                    sp.set("instructions", retired)
+                    engine.flush_opcounts()
+                return taken
+            opcounts: Dict[str, int] = {}
             try:
                 for i in range(max_steps):
                     if until_pc is not None and self.pc == until_pc:

@@ -14,6 +14,12 @@ from __future__ import annotations
 from ..bedrock2 import word
 from .insts import Instr
 
+#: Access width in bytes per load/store mnemonic. Shared with the
+#: fast-path executor (`repro.riscv.fastpath`), which must agree with
+#: these semantics byte-for-byte.
+LOAD_SIZES = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}
+STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4}
+
 
 class Primitives:
     """The abstract machine interface instructions are defined against.
@@ -120,7 +126,7 @@ def execute(instr: Instr, m: Primitives) -> None:
         m.set_register(instr.rd, word.sra(rs1(), imm))
     elif name in ("lb", "lh", "lw", "lbu", "lhu"):
         addr = word.add(rs1(), word.wrap(imm))
-        size = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}[name]
+        size = LOAD_SIZES[name]
         if addr % size != 0:
             m.raise_exception("misaligned load at 0x%x" % addr)
             return
@@ -132,7 +138,7 @@ def execute(instr: Instr, m: Primitives) -> None:
         m.set_register(instr.rd, raw)
     elif name in ("sb", "sh", "sw"):
         addr = word.add(rs1(), word.wrap(imm))
-        size = {"sb": 1, "sh": 2, "sw": 4}[name]
+        size = STORE_SIZES[name]
         if addr % size != 0:
             m.raise_exception("misaligned store at 0x%x" % addr)
             return

@@ -1,0 +1,284 @@
+"""Fast-path engine equivalence (tier-1).
+
+The fast execution engine (`repro.riscv.fastpath`: decode cache + fused
+basic blocks + flat RAM access) claims to be *bit-identical* to the
+reference interpreter loop. This suite holds it to that claim:
+
+* every checked-in ``fuzz-corpus/*.json`` reproducer runs on both
+  engines with identical final machine state, MMIO trace and ``instret``;
+* lockstep single-stepping agrees state-for-state on a branchy
+  MMIO-touching program;
+* self-modifying stores invalidate fused blocks and reproduce the
+  reference's stale-instruction UB, message and all;
+* ``until_pc`` / ``stop`` / ``max_steps`` boundaries agree;
+* undefined behavior (misaligned access, invalid instruction, unowned
+  fetch) raises the same exception text at the same point;
+* the instrumented run loop counts opcodes identically through the
+  decode-cache entries.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.compiler.pipeline import compile_program
+from repro.fuzz.astjson import program_from_json
+from repro.fuzz.oracle import _MEM_SIZE, SyntheticDevice
+from repro.riscv.encode import encode_program
+from repro.riscv.fastpath import machine_state_diff
+from repro.riscv.insts import Instr
+from repro.riscv.machine import RiscvMachine, RiscvUB
+
+CORPUS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "fuzz-corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+_MAX_STEPS = 200_000
+
+
+def _run_pair(image, max_steps=_MAX_STEPS, until_pc=None, mem_size=_MEM_SIZE,
+              bus=True, **kwargs):
+    """Run ``image`` on a reference and a fast machine; return both plus
+    each engine's outcome (steps taken or the RiscvUB it raised)."""
+    machines, outcomes = [], []
+    for fast in (False, True):
+        machine = RiscvMachine.with_program(
+            image, base=0, pc=0, mem_size=mem_size,
+            mmio_bus=SyntheticDevice() if bus else None, fast=fast, **kwargs)
+        try:
+            outcome = machine.run(max_steps, until_pc=until_pc)
+        except RiscvUB as exc:
+            outcome = "RiscvUB: %s" % exc
+        machines.append(machine)
+        outcomes.append(outcome)
+    (ref, fast_m), (ref_out, fast_out) = machines, outcomes
+    assert fast_out == ref_out
+    assert machine_state_diff(ref, fast_m) is None
+    return ref, fast_m, ref_out
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES,
+                         ids=[os.path.basename(p) for p in CORPUS_FILES])
+def test_corpus_reproducer_identical_on_both_engines(path):
+    """Every corpus program: same final state, MMIO trace, instret."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    program = program_from_json(doc["program"])
+    compiled = compile_program(program, stack_top=_MEM_SIZE)
+    ref, fast, _ = _run_pair(compiled.image, until_pc=compiled.halt_pc)
+    assert fast.trace == ref.trace
+    assert fast.instret == ref.instret
+
+
+def _branchy_image():
+    """A loop with taken/untaken branches, loads/stores and an MMIO
+    read+write per iteration (device at 0x40000000, scratch at 0x200)."""
+    insts = [
+        Instr("addi", rd=1, rs1=0, imm=0),        # i = 0
+        Instr("addi", rd=2, rs1=0, imm=24),       # limit
+        Instr("lui", rd=5, imm=0x40000),          # device base
+        # loop:
+        Instr("andi", rd=3, rs1=1, imm=1),
+        Instr("beq", rs1=3, rs2=0, imm=12),       # skip MMIO on even i
+        Instr("lw", rd=4, rs1=5, imm=0),          # MMIO read
+        Instr("sw", rs1=5, rs2=4, imm=4),         # MMIO write
+        Instr("sw", rs1=0, rs2=1, imm=0x200),     # scratch[0] = i
+        Instr("lw", rd=6, rs1=0, imm=0x200),
+        Instr("add", rd=7, rs1=7, rs2=6),         # checksum
+        Instr("addi", rd=1, rs1=1, imm=1),
+        Instr("bne", rs1=1, rs2=2, imm=-32),      # back to loop
+        Instr("jal", rd=0, imm=0),                # halt: spin in place
+    ]
+    return encode_program(insts)
+
+
+def test_lockstep_branchy_mmio_program():
+    """Single-step the reference; advance the fast machine one step at a
+    time (max_steps=1 exercises block truncation by budget); states must
+    agree after every instruction."""
+    image = _branchy_image()
+    dev_ref, dev_fast = SyntheticDevice(), SyntheticDevice()
+    ref = RiscvMachine.with_program(image, mem_size=1 << 12,
+                                    mmio_bus=dev_ref, fast=False)
+    fast = RiscvMachine.with_program(image, mem_size=1 << 12,
+                                     mmio_bus=dev_fast, fast=True)
+    for step in range(150):
+        ref.step()
+        assert fast.run(1) == 1
+        diff = machine_state_diff(ref, fast)
+        assert diff is None, "diverged after step %d: %s" % (step + 1, diff)
+
+
+def test_whole_run_branchy_mmio_program():
+    ref, fast, steps = _run_pair(_branchy_image(), max_steps=140,
+                                 mem_size=1 << 12)
+    assert steps == 140
+    assert ref.trace  # the workload actually exercised MMIO
+
+
+def test_self_modifying_store_hits_stale_instruction_ub():
+    """Overwrite an instruction the block cache already fused: both
+    engines must raise the stale-instruction UB with the same message."""
+    insts = [
+        Instr("addi", rd=1, rs1=0, imm=19),       # an addi word in x1
+        Instr("sw", rs1=0, rs2=1, imm=16),        # clobber insts[4]
+        Instr("addi", rd=2, rs1=0, imm=2),
+        Instr("addi", rd=3, rs1=0, imm=3),
+        Instr("addi", rd=4, rs1=0, imm=4),        # at 16: now stale
+    ]
+    image = encode_program(insts)
+    # Warm the fast block cache over the whole straight line first, so
+    # the store invalidates a block that is actually cached.
+    warm = RiscvMachine.with_program(image, mem_size=1 << 12, fast=True,
+                                     track_xaddrs=False)
+    warm.run(5)
+    assert warm.instret == 5
+
+    ref, fast, outcome = _run_pair(image, max_steps=10, mem_size=1 << 12,
+                                   bus=False)
+    assert outcome == ("RiscvUB: fetch from non-executable address 0x10 "
+                       "(stale-instruction discipline)")
+    assert ref.instret == 4  # the store and both addis retired first
+
+
+def test_store_into_current_block_aborts_fusion():
+    """A store over the *next* instruction in the currently executing
+    block: the fast engine must not keep replaying the fused copy."""
+    insts = [
+        Instr("addi", rd=1, rs1=0, imm=19),
+        Instr("addi", rd=2, rs1=0, imm=2),
+        Instr("sw", rs1=0, rs2=1, imm=16),        # clobber insts[4] below
+        Instr("addi", rd=3, rs1=0, imm=3),        # still executes
+        Instr("addi", rd=4, rs1=0, imm=4),        # fetch here must fault
+    ]
+    ref, fast, outcome = _run_pair(encode_program(insts), max_steps=10,
+                                   mem_size=1 << 12, bus=False)
+    assert "stale-instruction discipline" in outcome
+
+
+def test_until_pc_mid_block_boundary():
+    image = _branchy_image()
+    for until in (4, 8, 12, 28):
+        ref, fast, steps = _run_pair(image, max_steps=500, until_pc=until,
+                                     mem_size=1 << 12)
+        assert ref.pc == until and fast.pc == until
+
+
+def test_stop_predicate_equivalence():
+    image = _branchy_image()
+    results = []
+    for fast in (False, True):
+        machine = RiscvMachine.with_program(image, mem_size=1 << 12,
+                                            mmio_bus=SyntheticDevice(),
+                                            fast=fast)
+        steps = machine.run(500, stop=lambda m: m.get_register(1) == 7)
+        results.append((steps, machine))
+    (ref_steps, ref), (fast_steps, fast) = results
+    assert fast_steps == ref_steps
+    assert machine_state_diff(ref, fast) is None
+
+
+@pytest.mark.parametrize("insts,needle", [
+    # Misaligned load address (2 % 4 != 0).
+    ([Instr("addi", rd=1, rs1=0, imm=2), Instr("lw", rd=2, rs1=1, imm=0)],
+     "misaligned load at 0x2"),
+    # Misaligned store.
+    ([Instr("addi", rd=1, rs1=0, imm=6), Instr("sh", rs1=1, rs2=0, imm=1)],
+     "misaligned store at 0x7"),
+    # Misaligned jump target.
+    ([Instr("jalr", rd=1, rs1=0, imm=6)], "misaligned jump target 0x6"),
+    # Load far outside owned memory and MMIO.
+    ([Instr("lui", rd=1, imm=0x80000), Instr("lw", rd=2, rs1=1, imm=0)],
+     "load from unowned non-MMIO address 0x80000000"),
+])
+def test_ub_messages_identical(insts, needle):
+    ref, fast, outcome = _run_pair(encode_program(insts), max_steps=10,
+                                   mem_size=1 << 12, bus=False)
+    assert isinstance(outcome, str) and needle in outcome
+
+
+def test_invalid_instruction_identical():
+    image = encode_program([Instr("addi", rd=1, rs1=0, imm=1)])
+    image += b"\xff\xff\xff\xff"
+    ref, fast, outcome = _run_pair(image, max_steps=10, mem_size=1 << 12,
+                                   bus=False)
+    assert outcome == ("RiscvUB: invalid instruction at pc=0x4: "
+                       "invalid instruction word 0xffffffff")
+
+
+def test_writes_to_x0_are_discarded():
+    insts = [
+        Instr("addi", rd=0, rs1=0, imm=123),
+        Instr("lui", rd=0, imm=1),
+        Instr("jal", rd=0, imm=8),                # also links to x0
+        Instr("addi", rd=1, rs1=0, imm=99),       # skipped
+        Instr("add", rd=2, rs1=0, rs2=0),
+    ]
+    ref, fast, _ = _run_pair(encode_program(insts), max_steps=4,
+                             mem_size=1 << 12, bus=False)
+    assert fast.get_register(0) == 0
+    assert fast.get_register(1) == 0
+
+
+def test_instrumented_opcode_counts_match_reference():
+    """The decode-cache-entry counting must report exactly what the
+    reference's per-step dict counting reports."""
+    image = _branchy_image()
+
+    def opcounts(fast):
+        obs.reset()
+        obs.enable(trace=True)
+        try:
+            machine = RiscvMachine.with_program(image, mem_size=1 << 12,
+                                                mmio_bus=SyntheticDevice(),
+                                                fast=fast)
+            assert machine.run(100) == 100
+            return obs.REGISTRY.snapshot("riscv.op.")
+        finally:
+            obs.disable()
+            obs.reset()
+    assert opcounts(True) == opcounts(False)
+
+
+def test_decode_cache_shared_across_machines():
+    """Same image on two fast machines: the second re-uses the first's
+    per-engine block discovery path without interference (separate
+    engines, shared `decode_cached` memo) and stays bit-identical."""
+    image = _branchy_image()
+    a = RiscvMachine.with_program(image, mem_size=1 << 12,
+                                  mmio_bus=SyntheticDevice(), fast=True)
+    b = RiscvMachine.with_program(image, mem_size=1 << 12,
+                                  mmio_bus=SyntheticDevice(), fast=True)
+    a.run(120)
+    b.run(120)
+    assert machine_state_diff(a, b) is None
+
+
+def test_external_memory_poke_between_runs_is_observed():
+    """Writing machine memory directly (test-style poke) must be seen by
+    the next fast run: the poked word replaces a cached block's code."""
+    insts = [
+        Instr("addi", rd=1, rs1=0, imm=1),
+        Instr("jal", rd=0, imm=-4),               # tight loop to pc=0
+    ]
+    image = encode_program(insts)
+    nop = encode_program([Instr("addi", rd=0, rs1=0, imm=0)])
+    results = []
+    for fast in (False, True):
+        machine = RiscvMachine.with_program(image, mem_size=1 << 12,
+                                            fast=fast, track_xaddrs=False)
+        machine.run(10)
+        # Redirect the loop: turn the jal into a nop, fall into zeros.
+        for i, byte in enumerate(nop):
+            machine.mem[4 + i] = byte
+        try:
+            outcome = machine.run(10)
+        except RiscvUB as exc:
+            outcome = "RiscvUB: %s" % exc
+        results.append((outcome, machine))
+    (ref_out, ref), (fast_out, fast) = results
+    assert fast_out == ref_out
+    assert machine_state_diff(ref, fast) is None
