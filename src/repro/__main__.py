@@ -3,7 +3,10 @@
 Wraps the library's main entry points for interactive exploration:
 
 * ``verify``      -- program-logic verification of the lightbulb software
-* ``lint``        -- static analysis of the Bedrock2 programs (B2Axxx codes)
+* ``lint``        -- static analysis of the Bedrock2 programs (B2Axxx codes);
+                     ``--binary`` lints the compiled RV32IM images instead
+                     (CFG recovery + abstract interpretation + translation
+                     validation, B2A1xx codes)
 * ``check``       -- the per-interface integration checks (Figure 3)
 * ``end2end``     -- run the end-to-end theorem checker with packets
 * ``fuzz``        -- differential fuzzing of all execution layers
@@ -113,6 +116,34 @@ def _parse_suppressions(specs):
     return frozenset(out)
 
 
+def _cmd_lint_binary(args) -> list:
+    """``lint --binary``: abstract-interpret + translation-validate the
+    compiled images of the shipped apps."""
+    from .analysis import BinaryLintConfig, lint_binary_program
+    from .compiler import compile_program
+    from .platform.bus import MMIO_RANGES
+    from .sw.doorlock import doorlock_program
+    from .sw.program import compiled_lightbulb, lightbulb_program
+    from .sw.verify import platform_mmio_spec
+
+    apps = []
+    if args.app in ("lightbulb", "all"):
+        apps.append((lightbulb_program(),
+                     compiled_lightbulb(stack_top=1 << 16)))
+    if args.app in ("doorlock", "all"):
+        program = doorlock_program()
+        apps.append((program, compile_program(program, entry="main",
+                                              stack_top=1 << 16)))
+    suppress = _parse_suppressions(args.suppress)
+    findings = []
+    for program, compiled in apps:
+        config = BinaryLintConfig.for_platform(
+            compiled.stack_top, MMIO_RANGES,
+            ext_spec=platform_mmio_spec(), suppress=suppress)
+        findings.extend(lint_binary_program(program, compiled, config))
+    return findings
+
+
 def cmd_lint(args) -> int:
     from .analysis import LintConfig, lint_program
     from .analysis.domains import CsPairingSpec
@@ -124,6 +155,14 @@ def cmd_lint(args) -> int:
     from .sw.verify import platform_mmio_spec
 
     _obs_start(args)
+    if args.binary:
+        findings = _cmd_lint_binary(args)
+        if args.format == "json":
+            print(render_json(findings))
+        else:
+            print(render_text(findings))
+        _obs_finish(args)
+        return 1 if findings else 0
     config = LintConfig(
         mmio_ranges=MMIO_RANGES,
         ext_spec=platform_mmio_spec(),
@@ -472,6 +511,10 @@ def main(argv=None) -> int:
     p = sub.add_parser("lint", help="static analysis of the Bedrock2 apps")
     p.add_argument("--app", choices=("lightbulb", "doorlock", "all"),
                    default="all")
+    p.add_argument("--binary", action="store_true",
+                   help="lint the compiled RV32IM images instead of the "
+                        "source (CFG recovery + abstract interpretation + "
+                        "translation validation; B2A1xx codes)")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--suppress", action="append", metavar="CODE[:FUNC]",
                    default=None,

@@ -8,8 +8,8 @@ store dead, is any branch unreachable, does every external call respect
 the platform's `extspec` -- and prescreens verification conditions so
 that abstractly-provable obligations never reach the solver.
 
-Layout (Figure-3 discipline: depends on bedrock2/compiler/logic, never
-the reverse -- vcgen receives the prescreener by injection):
+Layout (Figure-3 discipline: depends on bedrock2/compiler/riscv/logic,
+never the reverse -- vcgen receives the prescreener by injection):
 
 * `repro.analysis.dataflow` -- the generic forward/backward walkers over
   the Bedrock2 AST and FlatImp;
@@ -19,8 +19,22 @@ the reverse -- vcgen receives the prescreener by injection):
 * `repro.analysis.lint`     -- the diagnostic passes (`python -m repro
   lint`), with stable ``B2Axxx`` codes;
 * `repro.analysis.prescreen` -- the VC prescreener hooked into
-  `repro.bedrock2.vcgen.VC` (``verify --prescreen``).
+  `repro.bedrock2.vcgen.VC` (``verify --prescreen``);
+* `repro.analysis.cfg`      -- control-flow recovery from encoded RV32IM
+  images (basic blocks, branch targets, the call graph);
+* `repro.analysis.binlint`  -- the binary-level abstract interpreter and
+  translation-validation lint (`python -m repro lint --binary`), with
+  stable ``B2A1xx`` codes.
 """
 
+from .binlint import (  # noqa: F401
+    BinaryLintConfig,
+    analyze_image,
+    lint_binary_program,
+    lint_compiled,
+    lint_image,
+    translation_validate,
+)
+from .cfg import BinaryCFG, call_graph, recover_cfg  # noqa: F401
 from .lint import Diagnostic, LintConfig, lint_program  # noqa: F401
 from .prescreen import Prescreener  # noqa: F401

@@ -9,6 +9,13 @@ fixpoint iteration the visitor is muted, and once the loop stabilizes
 the body is re-walked with the visitor attached, so every statement is
 reported exactly once under its weakest (stabilized) in-state.
 
+Analyses over an *explicit* control-flow graph (the binary-level
+abstract interpreter in `binlint.py`, whose control flow is recovered
+from machine code rather than structured syntax) use `run_cfg`: a
+classic worklist fixpoint where the client's transfer function maps a
+block's in-state to one out-state per successor, so branch refinement
+and infeasible-edge pruning live in the client.
+
 Backward liveness is structural rather than domain-parameterized
 (`liveness_cmd` / `liveness_flat`): the only client is the dead-store
 check, which needs the live-after set at every assignment.
@@ -16,10 +23,14 @@ check, which needs the live-after set at every assignment.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import (
     Callable,
+    Dict,
     FrozenSet,
     Generic,
+    Hashable,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -166,6 +177,57 @@ def _loop_fixpoint(entry: S, dom: AbstractDomain[S],
             return head
         head = grown
     return head
+
+
+# ---------------------------------------------------------------------------
+# Forward worklist fixpoint over an explicit CFG
+
+B = TypeVar("B", bound=Hashable)
+
+#: A CFG transfer: given a block id and its in-state, the out-state per
+#: successor block. Omitting a successor prunes that edge (used for
+#: branches whose condition the domain decides).
+CfgTransfer = Callable[[B, S], Mapping[B, S]]
+
+
+def run_cfg(entry: B, entry_state: S, transfer: "CfgTransfer[B, S]",
+            dom: AbstractDomain[S]) -> Dict[B, S]:
+    """Worklist fixpoint over an explicit CFG.
+
+    Returns the stabilized in-state per reachable block; blocks never
+    reached (all incoming edges pruned, or disconnected) are absent from
+    the result. Joins switch to widening at any block whose in-state has
+    been updated `WIDEN_AFTER` times -- loop heads in disguise -- which
+    bounds chains in infinite-height domains; `MAX_ITERATIONS` visits
+    per discovered block is a defensive cap on top.
+    """
+    in_states: Dict[B, S] = {entry: entry_state}
+    updates: Dict[B, int] = {}
+    work = deque([entry])
+    queued = {entry}
+    pops = 0
+    while work:
+        pops += 1
+        if pops > MAX_ITERATIONS * max(1, len(in_states)):
+            break
+        block = work.popleft()
+        queued.discard(block)
+        for succ, out in transfer(block, in_states[block]).items():
+            old = in_states.get(succ)
+            if old is None:
+                in_states[succ] = out
+            else:
+                grown = dom.join(old, out)
+                if updates.get(succ, 0) >= WIDEN_AFTER:
+                    grown = dom.widen(old, grown)
+                if dom.equals(grown, old):
+                    continue
+                updates[succ] = updates.get(succ, 0) + 1
+                in_states[succ] = grown
+            if succ not in queued:
+                work.append(succ)
+                queued.add(succ)
+    return in_states
 
 
 # ---------------------------------------------------------------------------

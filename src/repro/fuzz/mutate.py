@@ -43,6 +43,7 @@ TIER1_SUBSET = (
     "tests/test_riscv_encode.py",
     "tests/test_kami_processors.py",
     "tests/test_fuzz_corpus.py",
+    "tests/test_binlint.py",
 )
 
 
@@ -140,6 +141,33 @@ def _cm_jal_rd_zero():
     return _encode_with(rewrite)
 
 
+def _cm_jalr_imm_plus1():
+    # Runtime-silent: every engine computes (rs1 + imm) & ~1 and ra is
+    # always 4-aligned, so returns still land on the call site.  Only the
+    # binary linter sees the misaligned return immediate (B2A101).
+    def rewrite(instr):
+        if instr.name == "jalr":
+            return dataclasses.replace(instr, imm=(instr.imm or 0) + 1)
+        return instr
+
+    return _encode_with(rewrite)
+
+
+def _cm_regalloc_drop_callee_save():
+    # Runtime-silent: `_start` reads no allocatable register after main
+    # returns, so clobbering one callee-saved register in main's frame
+    # never changes an execution.  Only the binary linter's per-function
+    # ABI check catches the missing save/restore pair (B2A106).
+    original = codegen.FunctionCompiler.compile_function
+
+    def mutated(self):
+        if self.fn.name == "main" and self.saved_regs:
+            self.saved_regs = self.saved_regs[1:]
+        return original(self)
+
+    return _patched(codegen.FunctionCompiler, "compile_function", mutated)
+
+
 # -- Kami pipeline / memory mutations ----------------------------------------
 
 
@@ -218,6 +246,14 @@ CATALOG: Dict[str, Mutation] = {
         Mutation("encode-jal-rd-zero", "encoder",
                  "encode jal with rd=x0 (drops the return address)",
                  _cm_jal_rd_zero),
+        Mutation("encode-jalr-imm-plus1", "encoder",
+                 "encode jalr immediates one byte too far (masked at "
+                 "runtime; only the binary lint layer sees it)",
+                 _cm_jalr_imm_plus1),
+        Mutation("regalloc-drop-callee-save", "compiler",
+                 "drop one callee-saved save/restore pair from main "
+                 "(runtime-silent; only the binary lint layer sees it)",
+                 _cm_regalloc_drop_callee_save),
         Mutation("pipeline-rs-swap", "pipeline",
                  "swap rs1/rs2 in the pipelined processor's decode",
                  _cm_pipeline_rs_swap),

@@ -9,6 +9,11 @@ interp           big-step interpreter (`repro.bedrock2.semantics`) --
                  the reference; UB or out-of-fuel here means an *invalid*
                  program (a generator bug), never a divergence
 smallstep        small-step semantics (`repro.bedrock2.smallstep`)
+binlint          *static* layer: the binary-level abstract interpreter
+                 (`repro.analysis.binlint`) lints the compiled image
+                 before anything executes it; any finding is a
+                 divergence (the compiler emitted code that violates an
+                 ISA-level invariant), shrunk like any other failure
 compiled         compiled RV32IM binary on the ISA spec machine
                  (`repro.riscv.machine`), reference interpreter loop
 fast             the same binary on the same machine through the
@@ -77,7 +82,7 @@ from .generator import (
 )
 
 #: Stop-at-first-divergence comparison order; "interp" is the reference.
-LAYERS = ("interp", "smallstep", "compiled", "fast", "kami-spec",
+LAYERS = ("interp", "smallstep", "binlint", "compiled", "fast", "kami-spec",
           "kami-pipelined")
 
 _MEM_SIZE = 1 << 16          # machine RAM [0, 0x10000): image, scratch, stack
@@ -181,6 +186,18 @@ def _run_smallstep(program: Program) -> LayerOutcome:
     return LayerOutcome("smallstep", rets=tuple(rets),
                         scratch=_scratch_from_snapshot(mem.snapshot()),
                         trace=to_mmio_triples(state.trace))
+
+
+def _binlint_findings(compiled):
+    """The static layer: abstract-interpretation lint of the compiled
+    image against the oracle's memory map (owned RAM below the stack
+    top, the synthetic device as the only MMIO range). Imported lazily
+    so execution-only layer subsets never pay for the analysis import."""
+    from ..analysis.binlint import BinaryLintConfig, lint_image
+
+    config = BinaryLintConfig.for_platform(
+        _STACK_TOP, ((DEV_BASE, DEV_BASE + DEV_SIZE),))
+    return lint_image(compiled.image, compiled.symbols, config)
 
 
 def _run_machine(name: str, compiled, n_rets: int,
@@ -350,7 +367,8 @@ def run_differential(program: Program,
             return diverged(record)
 
     need_binary = any(name in layers
-                      for name in ("compiled", "kami-spec", "kami-pipelined"))
+                      for name in ("binlint", "compiled", "kami-spec",
+                                   "kami-pipelined"))
     if not need_binary:
         return result
     try:
@@ -362,6 +380,16 @@ def run_differential(program: Program,
         return diverged({"layer": "compiled", "kind": "crash",
                          "detail": "image overlaps scratch (%d bytes)"
                          % len(compiled.image)})
+
+    if "binlint" in layers:
+        result["layers"].append("binlint")
+        findings = _timed("binlint", lambda: _binlint_findings(compiled))
+        if findings:
+            shown = "; ".join(d.render() for d in findings[:3])
+            if len(findings) > 3:
+                shown += "; (+%d more)" % (len(findings) - 3)
+            return diverged({"layer": "binlint", "kind": "static",
+                             "detail": shown})
 
     ref_instret = 0
     ref_machine = None

@@ -380,10 +380,12 @@ def replay_file(path: str) -> dict:
     """Replay a corpus file and check its expectation.
 
     A reproducer recorded under a mutation must still diverge in the
-    recorded layer (the oracle has not lost that kill); one recorded
-    without a mutation documents a since-fixed real bug and must now
-    agree everywhere. Returns ``{"ok": bool, "expected": ..., "got":
-    ..., "path": ...}``.
+    recorded layer *or an earlier one* (a new, stricter layer -- e.g.
+    the static binlint pass -- catching the same defect sooner is a
+    strictly stronger kill, not a regression); one recorded without a
+    mutation documents a since-fixed real bug and must now agree
+    everywhere. Returns ``{"ok": bool, "expected": ..., "got": ...,
+    "path": ...}``.
     """
     with open(path) as fh:
         doc = json.load(fh)
@@ -403,10 +405,14 @@ def replay_file(path: str) -> dict:
         from .mutate import mutation_context
         with mutation_context(mutation):
             result = run_differential(program)
-        ok = (result["status"] == "divergence"
-              and result["divergence"]["layer"] == layer)
+        ok = result["status"] == "divergence"
+        if ok and layer in LAYERS:
+            got_layer = result["divergence"]["layer"]
+            ok = (got_layer in LAYERS
+                  and LAYERS.index(got_layer) <= LAYERS.index(layer))
         return {"ok": ok, "path": path,
-                "expected": "divergence in %s under %s" % (layer, mutation),
+                "expected": "divergence in %s (or earlier) under %s"
+                % (layer, mutation),
                 "got": result["status"] if not ok else "reproduced"}
     result = run_differential(program)
     return {"ok": result["status"] == "ok", "path": path,

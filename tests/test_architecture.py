@@ -27,17 +27,20 @@ ALLOWED = {
     "compiler": {"bedrock2", "riscv"},
     "kami": {"bedrock2", "riscv"},
     "platform": {"bedrock2", "riscv", "traces"},
-    # The static analyzer reads programs (AST + flat IR) and reuses the
-    # logic layer's interval/known-bits lattices; nothing below it may
-    # import it back (vcgen consumes the prescreener by injection).
-    "analysis": {"bedrock2", "compiler", "logic"},
+    # The static analyzer reads programs (AST + flat IR + encoded RV32IM
+    # images, for the binary linter) and reuses the logic layer's
+    # interval/known-bits lattices; nothing below it may import it back
+    # (vcgen consumes the prescreener by injection).
+    "analysis": {"bedrock2", "compiler", "logic", "riscv"},
     "sw": {"analysis", "bedrock2", "compiler", "logic", "platform",
            "traces", "riscv"},
     # The differential fuzzer drives every execution layer (and samples
     # vcgen obligations through the logic layer), so it sits beside
     # ``core`` near the top of the stack; only ``core`` (the end2end
-    # stimulus) may import it back.
-    "fuzz": {"bedrock2", "compiler", "kami", "logic", "platform", "riscv"},
+    # stimulus) may import it back. It also runs the binary linter as a
+    # static oracle layer, hence the ``analysis`` edge.
+    "fuzz": {"analysis", "bedrock2", "compiler", "kami", "logic",
+             "platform", "riscv"},
     "core": {"bedrock2", "compiler", "fuzz", "kami", "logic", "platform",
              "riscv", "sw", "traces"},
 }
