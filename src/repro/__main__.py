@@ -10,6 +10,9 @@ Wraps the library's main entry points for interactive exploration:
 * ``check``       -- the per-interface integration checks (Figure 3)
 * ``end2end``     -- run the end-to-end theorem checker with packets
 * ``fuzz``        -- differential fuzzing of all execution layers
+* ``fleet``       -- a discrete-event network fabric driving many verified
+                     nodes under adversarial link conditions, every node's
+                     MMIO trace spec-checked online
 * ``bench``       -- the §7.2.1 latency decomposition
 * ``stats``       -- run a verify+end2end workload, print all obs counters
 * ``report``      -- render ledger/trace/metrics/history into one HTML file
@@ -366,6 +369,47 @@ def cmd_fuzz(args) -> int:
     return 1 if (summary["divergences"] or summary["invalid"]) else 0
 
 
+def cmd_fleet(args) -> int:
+    import json as json_mod
+
+    from .net import run_fleet
+
+    _obs_start(args)
+    if args.jobs == 0:
+        from .logic.dispatch import default_jobs
+
+        args.jobs = default_jobs()
+    report = run_fleet(nodes=args.nodes, duration=args.duration,
+                       profile=args.profile, seed=args.seed, jobs=args.jobs)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json_mod.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    summary = report["summary"]
+    switch = report["fabric"]["switch"]
+    print("fleet: %d node(s), %d units, profile=%s seed=%d"
+          % (args.nodes, args.duration, args.profile, args.seed))
+    print("fabric: %d offered, %d switched (%d unicast / %d flooded), "
+          "%d queue overflow(s)"
+          % (summary["frames_offered"], switch["frames_in"],
+             switch["frames_unicast"], switch["frames_flooded"],
+             switch["queue_overflows"]))
+    print("nodes:  %d delivered, %d accepted, %d NIC-dropped, "
+          "%d instructions, %d spec check(s)"
+          % (summary["frames_delivered"], summary["frames_accepted"],
+             summary["nic_dropped"], summary["instructions"],
+             summary["spec_checks"]))
+    for row in report["nodes"]:
+        if not row["ok"]:
+            print("  node %d (%s): %s" % (row["node"], row["kind"],
+                                          row["violation"] or row["error"]))
+    print("%d/%d node(s) within spec, %d violation(s), %d error(s)"
+          % (summary["nodes_ok"], summary["nodes"], summary["violations"],
+             summary["errors"]))
+    _obs_finish(args)
+    return 0 if summary["nodes_ok"] == summary["nodes"] else 1
+
+
 def cmd_bench(args) -> int:
     from .core.timing import factor_decomposition
 
@@ -397,10 +441,20 @@ def cmd_stats(args) -> int:
           % (args.units,
              "in spec" if result.ok else "VIOLATION: " + result.detail,
              result.instructions, len(result.trace)))
+    from .net import run_fleet
+
+    fleet = run_fleet(nodes=2, duration=10_000, profile="lossy",
+                      seed=args.seed)
+    print("fleet (2 nodes, lossy links): %d/%d in spec, %d frame(s) "
+          "switched, %d NIC drop(s)"
+          % (fleet["summary"]["nodes_ok"], fleet["summary"]["nodes"],
+             fleet["fabric"]["switch"]["frames_in"],
+             fleet["summary"]["nic_dropped"]))
     print()
     print(obs.REGISTRY.render())
     _obs_finish(args)
-    return 0 if result.ok else 1
+    fleet_ok = (fleet["summary"]["nodes_ok"] == fleet["summary"]["nodes"])
+    return 0 if (result.ok and fleet_ok) else 1
 
 
 def cmd_report(args) -> int:
@@ -410,7 +464,8 @@ def cmd_report(args) -> int:
     from .obs.report import build_report
 
     html = build_report(ledger_path=args.ledger, trace_path=args.trace,
-                        history_dir=args.history, title=args.title)
+                        history_dir=args.history, fleet_path=args.fleet,
+                        title=args.title)
     with open(args.output, "w") as fh:
         fh.write(html)
     print("wrote %s (%d bytes, self-contained)"
@@ -580,6 +635,27 @@ def main(argv=None) -> int:
     p.add_argument("--json", metavar="OUT", default=None,
                    help="write the deterministic campaign report as JSON")
     add_trace_out(p)
+    p = sub.add_parser("fleet",
+                       help="simulate a fleet of verified nodes on an "
+                            "adversarial network fabric, spec-checking "
+                            "every node's MMIO trace online")
+    p.add_argument("--nodes", type=int, default=8, metavar="N",
+                   help="fleet size; even indices are lightbulbs, odd are "
+                        "door locks (default 8)")
+    p.add_argument("--duration", type=int, default=50_000, metavar="T",
+                   help="simulated time units == instructions per node "
+                        "(default 50000)")
+    p.add_argument("--profile", choices=("clean", "lossy", "chaos"),
+                   default="lossy",
+                   help="per-link fault profile (default lossy)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard nodes over N worker processes (0 = one per "
+                        "core); the report is byte-identical across values")
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed for workload and link fault streams")
+    p.add_argument("--json", metavar="OUT", default=None,
+                   help="write the deterministic fleet report as JSON")
+    add_trace_out(p)
     p = sub.add_parser("bench", help="latency decomposition (§7.2.1)")
     add_trace_out(p)
     p = sub.add_parser("stats", help="run a workload, print obs counters")
@@ -604,6 +680,9 @@ def main(argv=None) -> int:
                         "(section omitted when the file is absent)")
     p.add_argument("--history", metavar="DIR", default="benchmarks/history",
                    help="bench-history store for the trend sparklines")
+    p.add_argument("--fleet", metavar="FILE.json", default="fleet.json",
+                   help="fleet report from `fleet --json` "
+                        "(section omitted when the file is absent)")
     p.add_argument("--title", default="repro verification report")
     p = sub.add_parser("disasm", help="disassemble a compiled app")
     p.add_argument("--app", choices=("lightbulb", "doorlock"),
@@ -617,6 +696,7 @@ def main(argv=None) -> int:
         "check": cmd_check,
         "end2end": cmd_end2end,
         "fuzz": cmd_fuzz,
+        "fleet": cmd_fleet,
         "bench": cmd_bench,
         "stats": cmd_stats,
         "report": cmd_report,

@@ -1,0 +1,96 @@
+"""Fault-injecting links: the adversarial part of the fabric.
+
+Each link owns a seeded RNG (see `repro.net.sim.derive_rng`) and a
+`FaultProfile` giving per-frame probabilities of dropping, duplicating,
+corrupting (bit-flips), and delaying/reordering. ``transmit`` maps one
+frame to zero or more ``(extra_delay, bytes)`` deliveries; reordering is
+modeled as occasional large extra delay, which against the base latency
+genuinely reorders back-to-back frames.
+
+The end-to-end claim this machinery attacks: none of these faults may
+push a node's MMIO trace outside its spec -- a corrupted frame must land
+in a ``RecvInvalid``/``RecvUnauth`` arm, a duplicated command is just
+two valid receives, a dropped frame is silence. Counters per link feed
+the fleet report and the obs registry.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-frame fault probabilities and timing for one link class."""
+
+    name: str
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    reorder: float = 0.0
+    latency: int = 40        # base propagation delay, time units
+    jitter: int = 0          # max uniform extra delay
+    reorder_span: int = 0    # extra delay making a frame overtake others
+
+
+PROFILES: Dict[str, FaultProfile] = {
+    "clean": FaultProfile("clean"),
+    "lossy": FaultProfile("lossy", drop=0.05, duplicate=0.03, corrupt=0.04,
+                          reorder=0.05, jitter=200, reorder_span=1500),
+    "chaos": FaultProfile("chaos", drop=0.15, duplicate=0.10, corrupt=0.12,
+                          reorder=0.15, jitter=800, reorder_span=4000),
+}
+
+
+class FaultyLink:
+    """One unidirectional link with its own fault stream."""
+
+    def __init__(self, profile: FaultProfile, rng: random.Random):
+        self.profile = profile
+        self.rng = rng
+        self.counters: Dict[str, int] = {
+            "offered": 0, "dropped": 0, "duplicated": 0, "corrupted": 0,
+            "delayed": 0, "reordered": 0, "delivered": 0,
+        }
+
+    def transmit(self, frame: bytes) -> List[Tuple[int, bytes]]:
+        """Fault outcomes for one frame: ``(extra_delay, bytes)`` per
+        surviving copy (possibly corrupted), empty if the link ate it."""
+        p = self.profile
+        rng = self.rng
+        c = self.counters
+        c["offered"] += 1
+        if p.drop and rng.random() < p.drop:
+            c["dropped"] += 1
+            return []
+        copies = 1
+        if p.duplicate and rng.random() < p.duplicate:
+            copies = 2
+            c["duplicated"] += 1
+        out: List[Tuple[int, bytes]] = []
+        for _ in range(copies):
+            data = frame
+            if p.corrupt and frame and rng.random() < p.corrupt:
+                flipped = bytearray(frame)
+                for _ in range(rng.randint(1, 3)):
+                    flipped[rng.randrange(len(flipped))] ^= \
+                        1 << rng.randrange(8)
+                data = bytes(flipped)
+                c["corrupted"] += 1
+            delay = p.latency
+            if p.jitter:
+                extra = rng.randrange(p.jitter + 1)
+                if extra:
+                    c["delayed"] += 1
+                delay += extra
+            if p.reorder and rng.random() < p.reorder:
+                delay += p.reorder_span + rng.randrange(p.reorder_span + 1)
+                c["reordered"] += 1
+            out.append((delay, data))
+        c["delivered"] += len(out)
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        return dict(self.counters)

@@ -1,0 +1,183 @@
+"""The fleet runner: fabric + nodes + sharding + the deterministic report.
+
+One fleet run wires N heterogeneous nodes (even indices are lightbulbs,
+odd are door locks) to an `EthernetSwitch` through per-node `FaultyLink`
+instances, pre-schedules the whole open-loop workload, then interleaves
+node execution in fixed instruction quanta (one simulation time unit ==
+one retired instruction). Every ``check_every`` quanta -- and once at
+the end -- each node's MMIO trace is checked online against its spec.
+
+Sharding (``jobs > 1``) exploits a structural fact: nodes only *consume*
+frames, so the fabric's evolution (workload arrivals, switching, fault
+draws, queue occupancy) is completely independent of node execution.
+Every shard therefore replays the *identical* fabric -- same seeds, same
+event order, same RNG draw streams -- while instantiating machines only
+for its owned nodes. Per-node results come from the owning shard, the
+fabric section from shard 0 with an equality assertion against every
+other shard (any mismatch is a determinism bug and aborts the run), and
+the merged report is byte-identical across job counts -- the same
+discipline `logic.dispatch` gives verification batches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .. import obs
+from .faults import PROFILES, FaultyLink
+from .node import DOORLOCK, LIGHTBULB, Node, node_mac
+from .sim import Simulator, derive_rng
+from .switch import BROADCAST_MAC, EthernetSwitch
+from .workload import NodeMeta, generate
+
+#: Instructions (== time units) per scheduling quantum.
+QUANTUM = 500
+#: Spec-check cadence, in quanta.
+CHECK_EVERY = 4
+
+#: Ethertype of the link-up announcement chatter (Loopback/CTP): sent
+#: once per node at t=index so the switch learns every MAC before the
+#: storm starts and the storm is genuinely unicast.
+_ANNOUNCE_ETHERTYPE = b"\x90\x00"
+
+
+def kind_for(index: int) -> str:
+    return LIGHTBULB if index % 2 == 0 else DOORLOCK
+
+
+def fleet_meta(nodes: int) -> List[NodeMeta]:
+    return [(index, kind_for(index), node_mac(index))
+            for index in range(nodes)]
+
+
+def announce_frame(mac: bytes) -> bytes:
+    return BROADCAST_MAC + mac + _ANNOUNCE_ETHERTYPE + bytes(6)
+
+
+def _ingress_fn(switch: EthernetSwitch, port: int, frame: bytes):
+    def ingress() -> None:
+        switch.ingress(port, frame)
+    return ingress
+
+
+def run_fleet_shard(nodes: int, duration: int, profile: str = "lossy",
+                    seed: int = 0, owned: Optional[Sequence[int]] = None,
+                    quantum: int = QUANTUM,
+                    check_every: int = CHECK_EVERY) -> Dict:
+    """Simulate the full fabric, executing only the ``owned`` nodes
+    (default: all). Returns ``{"fabric": ..., "nodes": [...]}`` with the
+    fabric section identical for every owned-set of the same run."""
+    prof = PROFILES[profile]
+    meta = fleet_meta(nodes)
+    owned_set = set(range(nodes)) if owned is None else set(owned)
+    sim = Simulator()
+    switch = EthernetSwitch(sim)
+    uplink = FaultyLink(PROFILES["clean"], derive_rng(seed, "uplink"))
+    uplink_port = switch.add_port("uplink", uplink)
+    node_objs: Dict[int, Node] = {}
+    for index, kind, mac in meta:
+        link = FaultyLink(prof, derive_rng(seed, "link", index))
+        deliver = None
+        if index in owned_set:
+            node = Node(index, kind)
+            node_objs[index] = node
+            deliver = node.deliver
+        switch.add_port("node%d" % index, link, deliver)
+    # Setup order fixes same-time tie-breaking fleet-wide: announcements,
+    # then workload arrivals, then step quanta; link deliveries are
+    # scheduled during the run and so always fire after all of these at
+    # equal times -- identically in every shard.
+    for index, kind, mac in meta:
+        sim.at(index, _ingress_fn(switch, 1 + index, announce_frame(mac)))
+    timeline = generate(seed, meta, duration)
+    for t, frame in timeline:
+        sim.at(t, _ingress_fn(switch, uplink_port, frame))
+    for t in range(0, duration, quantum):
+        check = ((t // quantum) % check_every) == check_every - 1
+        budget = min(quantum, duration - t)
+        for index in sorted(node_objs):
+            sim.at(t, _step_fn(node_objs[index], budget, check))
+    with obs.span("net.fleet_shard", cat="net",
+                  args={"nodes": nodes, "owned": len(owned_set),
+                        "duration": duration}):
+        sim.run_until(duration)
+    for index in sorted(node_objs):
+        node_objs[index].check_spec()
+    fabric = {
+        "frames_offered": len(timeline),
+        "switch": switch.stats(),
+    }
+    return {"fabric": fabric,
+            "nodes": [node_objs[index].result()
+                      for index in sorted(node_objs)]}
+
+
+def _step_fn(node: Node, budget: int, check: bool):
+    def step() -> None:
+        node.run(budget)
+        if check:
+            node.check_spec()
+    return step
+
+
+def _flush_fabric_counters(fabric: Dict) -> None:
+    """Fold the fabric's plain counters into the obs registry exactly
+    once per run (shards carry identical copies; incrementing inside
+    each shard would multiply them by the job count)."""
+    switch = fabric["switch"]
+    obs.counter("net.frames_offered").inc(fabric["frames_offered"])
+    obs.counter("net.frames_switched").inc(switch["frames_in"])
+    obs.counter("net.switch_queue_overflows").inc(
+        switch["queue_overflows"])
+    totals = {"dropped": 0, "corrupted": 0, "duplicated": 0, "reordered": 0}
+    for port in switch["ports"]:
+        for key in totals:
+            totals[key] += port["link"][key]
+    for key, value in totals.items():
+        obs.counter("net.link_frames_%s" % key).inc(value)
+
+
+def run_fleet(nodes: int, duration: int, profile: str = "lossy",
+              seed: int = 0, jobs: int = 1, quantum: int = QUANTUM,
+              check_every: int = CHECK_EVERY) -> Dict:
+    """Run the fleet, optionally sharded over worker processes, and
+    return the deterministic report (byte-identical across ``jobs``)."""
+    if profile not in PROFILES:
+        raise ValueError("unknown fault profile %r" % profile)
+    obs.counter("net.fleet_runs").inc()
+    common = {"nodes": nodes, "duration": duration, "profile": profile,
+              "seed": seed, "quantum": quantum, "check_every": check_every}
+    if jobs <= 1 or nodes <= 1:
+        shards = [run_fleet_shard(owned=None, **common)]
+    else:
+        from ..logic.dispatch import parallel_call
+
+        jobs = min(jobs, nodes)
+        kwargs_list = [
+            dict(common, owned=[i for i in range(nodes) if i % jobs == k])
+            for k in range(jobs)]
+        shards = parallel_call("repro.net.fleet:run_fleet_shard",
+                               kwargs_list, jobs=jobs)
+    fabric = shards[0]["fabric"]
+    for k, shard in enumerate(shards[1:], start=1):
+        if shard["fabric"] != fabric:
+            raise RuntimeError(
+                "fleet shard %d replayed a different fabric than shard 0 "
+                "-- determinism bug in repro.net" % k)
+    node_rows = sorted((row for shard in shards for row in shard["nodes"]),
+                       key=lambda row: row["node"])
+    _flush_fabric_counters(fabric)
+    summary = {
+        "nodes": nodes,
+        "nodes_ok": sum(1 for row in node_rows if row["ok"]),
+        "violations": sum(1 for row in node_rows if row["violation"]),
+        "errors": sum(1 for row in node_rows if row["error"]),
+        "frames_offered": fabric["frames_offered"],
+        "frames_delivered": sum(r["frames_delivered"] for r in node_rows),
+        "frames_accepted": sum(r["frames_accepted"] for r in node_rows),
+        "nic_dropped": sum(r["nic_dropped"] for r in node_rows),
+        "instructions": sum(r["instructions"] for r in node_rows),
+        "spec_checks": sum(r["spec_checks"] for r in node_rows),
+    }
+    return {"config": dict(common), "summary": summary, "fabric": fabric,
+            "nodes": node_rows}

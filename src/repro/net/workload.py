@@ -1,0 +1,112 @@
+"""Open-loop traffic generators for the fleet.
+
+Each node gets its own command storm: a Poisson-ish open-loop arrival
+process (the generator never waits for the node -- that is what makes
+the fabric independent of node execution and the ``--jobs N`` shards
+byte-identical) mixing well-formed commands addressed to the node's MAC
+with the adversarial variants from `repro.platform.net` -- truncated,
+wrong-ethertype, non-UDP, oversize, bit-flipped, random garbage, and
+(for door locks) well-formed frames carrying the wrong PIN.
+
+The whole schedule is materialized up front from per-node derived RNGs
+(`repro.net.sim.derive_rng`), merged into one deterministic timeline
+sorted by ``(time, node, arrival index)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..platform.net import (
+    lightbulb_packet,
+    non_udp_packet,
+    oversize_packet,
+    random_garbage,
+    truncated_packet,
+    wrong_ethertype_packet,
+)
+from ..sw.doorlock import DEFAULT_PIN, lock_packet
+from .node import DOORLOCK
+from .sim import derive_rng
+from .switch import BROADCAST_MAC
+
+#: (node index, kind, mac) rows describing the fleet, independent of the
+#: Node objects themselves so every shard can generate the same traffic.
+NodeMeta = Tuple[int, str, bytes]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of the storm. ``mean_gap`` is per-node average units between
+    frames; ``start`` lets frames race the nodes' boot sequences (the
+    NIC must drop pre-RX-enable arrivals and account for them)."""
+
+    start: int = 2_000
+    mean_gap: int = 4_000
+    valid_ratio: float = 0.6
+    broadcast_ratio: float = 0.1
+
+
+def retarget(frame: bytes, dst: bytes) -> bytes:
+    """Rewrite the destination MAC (frames shorter than a MAC header are
+    adversarial payloads already; they go out unchanged)."""
+    if len(frame) < 6:
+        return frame
+    return dst + frame[6:]
+
+
+def valid_command(rng: random.Random, kind: str) -> bytes:
+    on = bool(rng.getrandbits(1))
+    if kind == DOORLOCK:
+        return lock_packet(DEFAULT_PIN, on)
+    return lightbulb_packet(on)
+
+
+def junk_command(rng: random.Random, kind: str) -> bytes:
+    """One frame the node must *ignore* (while staying in spec)."""
+    choice = rng.randrange(7)
+    if choice == 0:
+        return truncated_packet(rng.randint(1, 42))
+    if choice == 1:
+        return wrong_ethertype_packet(rng.randrange(0x10000))
+    if choice == 2:
+        return non_udp_packet(rng.randrange(256))
+    if choice == 3:
+        return oversize_packet(rng.randint(1521, 2040))
+    if choice == 4:
+        return random_garbage(rng)
+    if choice == 5 and kind == DOORLOCK:
+        # Authentic-looking but wrong PIN: the lock must not actuate.
+        return lock_packet(DEFAULT_PIN ^ (1 << rng.randrange(32)),
+                           bool(rng.getrandbits(1)))
+    flipped = bytearray(valid_command(rng, kind))
+    for _ in range(rng.randint(1, 8)):
+        flipped[rng.randrange(len(flipped))] ^= 1 << rng.randrange(8)
+    return bytes(flipped)
+
+
+def generate(seed: int, nodes: Iterable[NodeMeta], duration: int,
+             config: WorkloadConfig = WorkloadConfig()
+             ) -> List[Tuple[int, bytes]]:
+    """The full fleet timeline: ``(arrival time, frame)`` sorted
+    deterministically. Every frame is addressed to one node's MAC (or
+    broadcast), so switch learning turns the storm into unicast."""
+    timeline: List[Tuple[int, int, int, bytes]] = []
+    for index, kind, mac in nodes:
+        rng = derive_rng(seed, "workload", index)
+        t = config.start + rng.randrange(max(config.mean_gap, 1))
+        arrival = 0
+        while t < duration:
+            if rng.random() < config.valid_ratio:
+                frame = valid_command(rng, kind)
+            else:
+                frame = junk_command(rng, kind)
+            dst = (BROADCAST_MAC if rng.random() < config.broadcast_ratio
+                   else mac)
+            timeline.append((t, index, arrival, retarget(frame, dst)))
+            arrival += 1
+            t += 1 + rng.randrange(2 * config.mean_gap)
+    timeline.sort(key=lambda item: item[:3])
+    return [(t, frame) for t, _, _, frame in timeline]

@@ -469,9 +469,103 @@ footer { color: var(--muted); font-size: 12px; margin-top: 20px; }
 """
 
 
+def _load_fleet(path: Optional[str]) -> Optional[Dict]:
+    """A fleet report from ``python -m repro fleet --json`` (None when
+    the file is absent or not a fleet report)."""
+    if not path or not os.path.isfile(path):
+        return None
+    try:
+        with open(path) as fh:
+            report = json.load(fh)
+    except ValueError:
+        return None
+    if not isinstance(report, dict) or "summary" not in report \
+            or "nodes" not in report:
+        return None
+    return report
+
+
+def _section_fleet(fleet: Optional[Dict]) -> str:
+    if fleet is None:
+        return ('<p class="absent">Fleet report not found &mdash; run '
+                '<code>python -m repro fleet --json fleet.json</code> '
+                'and pass <code>--fleet</code>.</p>')
+    summary = fleet.get("summary", {})
+    config = fleet.get("config", {})
+    switch = fleet.get("fabric", {}).get("switch", {})
+    tiles = [
+        _tile("%d/%d" % (summary.get("nodes_ok", 0),
+                         summary.get("nodes", 0)), "nodes within spec"),
+        _tile(str(summary.get("violations", 0)), "spec violations"),
+        _tile(str(summary.get("frames_offered", 0)), "frames offered"),
+        _tile(str(switch.get("frames_in", 0)), "frames switched"),
+        _tile(str(switch.get("queue_overflows", 0)), "queue overflows"),
+        _tile(str(summary.get("nic_dropped", 0)), "NIC drops"),
+        _tile("{:,}".format(summary.get("instructions", 0)),
+              "instructions"),
+        _tile(str(summary.get("spec_checks", 0)), "spec checks"),
+    ]
+    rows = []
+    for node in fleet.get("nodes", []):
+        status = "ok" if node.get("ok") else "FAIL"
+        rows.append(
+            "<tr><td>%s</td><td>%s</td><td><code>%s</code></td>"
+            "<td class=\"num\">%s</td><td class=\"num\">%s</td>"
+            "<td class=\"num\">%s</td><td class=\"num\">%s</td>"
+            "<td class=\"num\">%s</td>"
+            "<td><span class=\"badge badge-%s\">%s</span></td></tr>"
+            % (_esc(str(node.get("node", "?"))),
+               _esc(node.get("kind") or "?"),
+               _esc(node.get("mac") or "?"),
+               "{:,}".format(node.get("instructions", 0)),
+               str(node.get("frames_delivered", 0)),
+               str(node.get("frames_accepted", 0)),
+               str(node.get("nic_dropped", 0)),
+               str(node.get("actuations", 0)),
+               "proved" if node.get("ok") else "timeout",
+               _esc(status)))
+    links = []
+    for port in switch.get("ports", []):
+        link = port.get("link", {})
+        if not link.get("offered"):
+            continue
+        links.append(
+            "<tr><td>%s</td><td class=\"num\">%s</td>"
+            "<td class=\"num\">%s</td><td class=\"num\">%s</td>"
+            "<td class=\"num\">%s</td><td class=\"num\">%s</td>"
+            "<td class=\"num\">%s</td></tr>"
+            % (_esc(port.get("name") or "?"),
+               str(link.get("offered", 0)), str(link.get("dropped", 0)),
+               str(link.get("duplicated", 0)),
+               str(link.get("corrupted", 0)),
+               str(link.get("reordered", 0)),
+               str(port.get("overflows", 0))))
+    note = ("<p class=\"note\">%s node(s), %s units, profile "
+            "<code>%s</code>, seed %s &mdash; per-link fault accounting "
+            "below.</p>"
+            % (_esc(str(config.get("nodes", "?"))),
+               _esc(str(config.get("duration", "?"))),
+               _esc(str(config.get("profile", "?"))),
+               _esc(str(config.get("seed", "?")))))
+    return ('<div class="tiles">%s</div>%s'
+            "<table><thead><tr><th>node</th><th>kind</th><th>mac</th>"
+            "<th class=\"num\">instructions</th>"
+            "<th class=\"num\">delivered</th><th class=\"num\">accepted</th>"
+            "<th class=\"num\">NIC drops</th>"
+            "<th class=\"num\">actuations</th><th>status</th></tr></thead>"
+            "<tbody>%s</tbody></table>"
+            "<table><thead><tr><th>link</th><th class=\"num\">offered</th>"
+            "<th class=\"num\">dropped</th><th class=\"num\">duplicated</th>"
+            "<th class=\"num\">corrupted</th><th class=\"num\">reordered</th>"
+            "<th class=\"num\">queue overflows</th></tr></thead>"
+            "<tbody>%s</tbody></table>"
+            % ("".join(tiles), note, "".join(rows), "".join(links)))
+
+
 def build_report(ledger_path: Optional[str] = None,
                  trace_path: Optional[str] = None,
                  history_dir: Optional[str] = None,
+                 fleet_path: Optional[str] = None,
                  title: str = "repro verification report") -> str:
     """Render the report; every input is optional and a missing file
     degrades to an in-page note so the command never fails on partial
@@ -479,11 +573,13 @@ def build_report(ledger_path: Optional[str] = None,
     records = _load_ledger(ledger_path)
     events = _load_trace(trace_path)
     history = _load_history(history_dir)
+    fleet = _load_fleet(fleet_path)
 
     inputs = []
     for label, path, present in (
             ("ledger", ledger_path, records is not None),
             ("trace", trace_path, events is not None),
+            ("fleet", fleet_path, fleet is not None),
             ("history", history_dir, bool(history))):
         if path:
             inputs.append("%s: %s%s" % (label, path,
@@ -503,6 +599,7 @@ def build_report(ledger_path: Optional[str] = None,
         card("Discharge tiers", _section_tiers(records)),
         card("Span timeline", _section_timeline(events)),
         card("Trace events by layer", _section_trace_stats(events)),
+        card("Fleet under adversarial links", _section_fleet(fleet)),
         card("Bench trends", _section_history(history)),
         "<footer>Generated by <code>python -m repro report</code> "
         "&mdash; self-contained, no scripts, no external assets.</footer>",

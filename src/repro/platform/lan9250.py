@@ -25,6 +25,13 @@ Frames are injected with `inject_frame`; the model accepts frames up to
 ``max_frame`` bytes (default 9000 -- oversize/jumbo frames *do* arrive on
 real networks, which is exactly why the paper's driver bug mattered; the
 protection the theorem guarantees lives in the driver, not here).
+
+RX buffering is finite, like the real chip's: ``fifo_bytes`` of data
+FIFO (word-padded, counting the in-flight frame being drained) and
+``status_slots`` status words. A frame that does not fit is tail-dropped
+and accounted in ``dropped_frames`` plus the obs registry -- the
+loss-under-load signal the fleet simulator's storms are designed to
+exercise.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from typing import Deque, List
 
 from collections import deque
 
+from .. import obs
 from .spi import SpiSlave
 
 # Register offsets.
@@ -65,11 +73,16 @@ CMD_READ = 0x03
 CMD_FAST_READ = 0x0B
 CMD_WRITE = 0x02
 
+_DROPPED = obs.counter("platform.lan9250_dropped_frames")
+
 
 class Lan9250(SpiSlave):
-    def __init__(self, power_up_reads: int = 3, max_frame: int = 2048):
+    def __init__(self, power_up_reads: int = 3, max_frame: int = 2048,
+                 fifo_bytes: int = 10240, status_slots: int = 64):
         self.power_up_reads = power_up_reads
         self.max_frame = max_frame
+        self.fifo_bytes = fifo_bytes
+        self.status_slots = status_slots
         self._powerup_countdown = power_up_reads
         self.hw_cfg = 0
         self.rx_cfg = 0
@@ -95,14 +108,30 @@ class Lan9250(SpiSlave):
     def rx_enabled(self) -> bool:
         return bool(self.mac_regs.get(MAC_CR, 0) & MAC_CR_RXEN)
 
+    def rx_used_bytes(self) -> int:
+        """Word-padded bytes occupying the RX data FIFO, including the
+        partially drained active frame."""
+        return (sum(_padded_len(f) for f in self.frames)
+                + 4 * len(self._active_words))
+
     def inject_frame(self, frame: bytes) -> bool:
         """Deliver an Ethernet frame from the wire. Returns False if the
-        controller dropped it (receiver off or frame too large)."""
+        controller dropped it (receiver off, frame too large, or the RX
+        FIFOs full)."""
         if not self.rx_enabled or len(frame) > self.max_frame or not frame:
-            self.dropped_frames += 1
+            self._drop()
+            return False
+        if (len(self.frames) >= self.status_slots
+                or self.rx_used_bytes() + _padded_len(frame)
+                > self.fifo_bytes):
+            self._drop()
             return False
         self.frames.append(bytes(frame))
         return True
+
+    def _drop(self) -> None:
+        self.dropped_frames += 1
+        _DROPPED.inc()
 
     # -- register file ------------------------------------------------------------
 

@@ -97,7 +97,16 @@ def oversize_packet(size: int = 2000, on: bool = True) -> bytes:
 
 
 def random_garbage(rng: random.Random, max_len: int = 100) -> bytes:
-    return bytes(rng.randrange(256) for _ in range(rng.randint(1, max_len)))
+    """Uniformly random bytes that are guaranteed *not* to parse as a
+    valid command. Pure chance can assemble a well-formed frame (43+
+    random bytes have a ~2^-72 shot, but seeded fuzz corpora replay
+    forever), which would silently flip an oracle expecting garbage to be
+    ignored -- so re-roll until the frame is genuinely unparseable."""
+    while True:
+        frame = bytes(rng.randrange(256)
+                      for _ in range(rng.randint(1, max_len)))
+        if is_valid_command(frame) is None:
+            return frame
 
 
 def adversarial_stream(rng: random.Random, count: int) -> List[bytes]:

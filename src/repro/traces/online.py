@@ -1,0 +1,120 @@
+"""Incremental prefix checking for head-plus-loop specifications.
+
+Both application specs have the shape the paper gives them::
+
+    spec := Head +++ Body^*          -- BootSeq +++ Iteration^*
+
+`TracePred.prefix_of` re-derives every parse from scratch, which is
+O(total trace) per call and O(total^2) over a run -- fine for one machine
+checked at sixteen checkpoints, prohibitive for a fleet of machines each
+checked every few scheduling quanta. `OnlineChecker` exploits two facts
+about the predicate language to make repeated prefix checks on a
+*growing* trace cost O(new events) each:
+
+* residuals only ever consume events forward from their start position,
+  so a parse discovered at trace length n is still a parse at any longer
+  length -- anchors (positions where ``Head +++ Body^k`` has matched)
+  never need re-derivation;
+* ``partial(trace, pos, env)`` is monotone decreasing in the trace for a
+  fixed ``(pos, env)``: once an in-progress parse is dead it stays dead,
+  so exhausted anchors are retired permanently.
+
+The checker keeps the live anchor set; each `check` extends anchors
+through newly arrived events via ``Body.residuals`` and re-tests
+liveness only where the trace actually grew. The verdict is exactly
+``spec.prefix_of(trace)``: some anchor has consumed the whole trace, or
+some anchor's in-progress parse can still complete.
+
+Specs of any other shape fall back to the full `prefix_of` -- the class
+exists as an optimization, never a semantic fork (callers are expected
+to confirm a False verdict against the full predicate; see
+``repro.net.node``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from .predicates import Concat, Star, Trace, TracePred
+
+
+class _Anchor:
+    """One discovered parse position: ``trace[:pos]`` is in
+    ``Head +++ Body^k`` under the captured ``env``."""
+
+    __slots__ = ("pred", "pos", "env", "live")
+
+    def __init__(self, pred: TracePred, pos: int, env: dict):
+        self.pred = pred
+        self.pos = pos
+        self.env = env
+        self.live = True
+
+
+def _env_key(env: dict) -> Tuple:
+    return tuple(sorted(env.items()))
+
+
+class OnlineChecker:
+    """Incremental ``spec.prefix_of`` over a monotonically growing trace.
+
+    ``check(trace)`` must be called with the same logical trace as before,
+    possibly extended (the fleet nodes pass the machine's live trace
+    list). Passing a shorter trace raises -- the incremental state would
+    be unsound for it.
+    """
+
+    def __init__(self, spec: TracePred):
+        self.spec = spec
+        self._fallback: Optional[TracePred] = None
+        self._checked_len = 0
+        if isinstance(spec, Concat) and isinstance(spec.second, Star):
+            head, self._body = spec.first, spec.second.body
+            self._anchors: List[_Anchor] = [_Anchor(head, 0, {})]
+            self._seen: Set[Tuple] = set()
+        else:
+            self._fallback = spec
+
+    @property
+    def incremental(self) -> bool:
+        return self._fallback is None
+
+    def check(self, trace: Trace) -> bool:
+        """Equivalent to ``spec.prefix_of(trace)``; amortized cost is
+        proportional to the events added since the previous call."""
+        if len(trace) < self._checked_len:
+            raise ValueError("trace shrank: OnlineChecker requires a "
+                             "monotonically growing trace")
+        self._checked_len = len(trace)
+        if self._fallback is not None:
+            return self._fallback.prefix_of(trace)
+        n = len(trace)
+        # Deepest anchors first: the frontier is almost always live, and a
+        # single live anchor already proves the prefix, so the early exit
+        # below usually makes one partial() call per check. Anchors left
+        # unvisited keep their (stale) liveness and are re-examined on the
+        # next call -- sound, because a True verdict never depends on them
+        # and a False verdict only falls out of visiting the whole queue.
+        queue = sorted((a for a in self._anchors if a.live),
+                       key=lambda a: a.pos)
+        while queue:
+            anchor = queue.pop()
+            for end, env in anchor.pred.residuals(trace, anchor.pos,
+                                                  anchor.env):
+                if anchor.pred is self._body and end <= anchor.pos:
+                    continue  # Star bodies must consume events
+                key = (end, _env_key(env))
+                if key in self._seen:
+                    continue
+                self._seen.add(key)
+                fresh = _Anchor(self._body, end, env)
+                self._anchors.append(fresh)
+                queue.append(fresh)
+            # Monotonicity of `partial` makes this retirement permanent.
+            anchor.live = anchor.pred.partial(trace, anchor.pos, anchor.env)
+            if anchor.live:
+                return True
+        # A parse that consumed the whole trace is a prefix even with no
+        # live continuation (partial at pos == len is True, so this is
+        # only reachable when all anchors predate this length).
+        return any(a.pos == n for a in self._anchors)

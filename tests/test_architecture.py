@@ -43,6 +43,13 @@ ALLOWED = {
              "platform", "riscv"},
     "core": {"bedrock2", "compiler", "fuzz", "kami", "logic", "platform",
              "riscv", "sw", "traces"},
+    # The fleet simulator instantiates the whole vertical stack per node
+    # (compiled app on the fast engine over the platform bus, checked
+    # against the trace specs) and shards itself over the logic layer's
+    # dispatch pool; it reuses ``fuzz``'s RNG discipline for its seeded
+    # fault/workload streams. Nothing imports it back.
+    "net": {"compiler", "fuzz", "logic", "platform", "riscv", "sw",
+            "traces"},
 }
 
 EXPECTED_PACKAGES = set(ALLOWED)

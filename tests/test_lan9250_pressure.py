@@ -1,0 +1,132 @@
+"""LAN9250 under pressure: finite RX FIFOs, drop accounting, recovery.
+
+The fleet simulator's storms only mean something if the NIC model loses
+frames the way the real chip does -- these tests pin the capacity model
+(data FIFO bytes + status slots), the ``dropped_frames`` accounting the
+obs registry surfaces, and the RX_DUMP recovery path."""
+
+from repro.platform.lan9250 import (
+    MAC_CR,
+    MAC_CR_RXEN,
+    RX_CFG,
+    RX_CFG_RX_DUMP,
+    RX_DATA_FIFO,
+    RX_FIFO_INF,
+    RX_STATUS_FIFO,
+    Lan9250,
+)
+from repro.platform.net import lightbulb_packet, oversize_packet
+from tests.test_platform import spi_readword, spi_writeword
+
+
+def _rx_on(lan: Lan9250) -> None:
+    lan.mac_regs[MAC_CR] = MAC_CR_RXEN
+
+
+def test_status_slot_exhaustion_tail_drops():
+    lan = Lan9250(status_slots=2, fifo_bytes=1 << 20)
+    _rx_on(lan)
+    frame = lightbulb_packet(True)
+    assert lan.inject_frame(frame)
+    assert lan.inject_frame(frame)
+    assert not lan.inject_frame(frame)
+    assert lan.dropped_frames == 1
+    assert len(lan.frames) == 2
+
+
+def test_data_fifo_exhaustion_tail_drops():
+    lan = Lan9250(status_slots=64, fifo_bytes=100)
+    _rx_on(lan)
+    frame = bytes(48)  # padded occupancy 48
+    assert lan.inject_frame(frame)
+    assert lan.inject_frame(frame)  # 96 bytes used
+    assert not lan.inject_frame(frame)  # 144 > 100
+    assert lan.dropped_frames == 1
+    # Word padding counts against capacity: a 46-byte frame occupies 48.
+    assert not lan.inject_frame(bytes(46))
+    assert lan.inject_frame(bytes(4))
+    assert lan.rx_used_bytes() == 100
+
+
+def test_partially_drained_frame_still_occupies_the_fifo():
+    lan = Lan9250(status_slots=64, fifo_bytes=128)
+    _rx_on(lan)
+    assert lan.inject_frame(bytes(64))
+    used = lan.rx_used_bytes()
+    # Pop the status word: the frame moves to the data-FIFO drain stage
+    # but its words still occupy the FIFO until read out.
+    spi_readword(lan, RX_STATUS_FIFO)
+    assert lan.rx_used_bytes() == used
+    assert not lan.inject_frame(bytes(80))  # 64 + 80 > 128
+    # Draining the data words frees capacity.
+    for _ in range(64 // 4):
+        spi_readword(lan, RX_DATA_FIFO)
+    assert lan.rx_used_bytes() == 0
+    assert lan.inject_frame(bytes(80))
+
+
+def test_back_to_back_frames_drain_in_order_with_correct_bytes():
+    lan = Lan9250()
+    _rx_on(lan)
+    frames = [bytes([tag]) * (40 + 4 * tag) for tag in (1, 2, 3)]
+    for frame in frames:
+        assert lan.inject_frame(frame)
+    info = spi_readword(lan, RX_FIFO_INF)
+    assert (info >> 16) & 0xFF == 3
+    for frame in frames:
+        status = spi_readword(lan, RX_STATUS_FIFO)
+        assert (status >> 16) & 0x3FFF == len(frame)
+        words = []
+        for _ in range((len(frame) + 3) // 4):
+            words.append(spi_readword(lan, RX_DATA_FIFO))
+        data = b"".join(w.to_bytes(4, "little") for w in words)
+        assert data[:len(frame)] == frame
+
+
+def test_rx_disabled_drops_are_accounted_and_observable():
+    from repro import obs
+
+    counter = obs.counter("platform.lan9250_dropped_frames")
+    before = counter.value
+    lan = Lan9250()
+    assert not lan.rx_enabled
+    assert not lan.inject_frame(lightbulb_packet(True))
+    _rx_on(lan)
+    assert lan.inject_frame(lightbulb_packet(True))
+    assert lan.dropped_frames == 1
+    assert counter.value == before + 1
+
+
+def test_oversize_beyond_nic_limit_drops_within_limit_delivers():
+    lan = Lan9250()
+    _rx_on(lan)
+    assert not lan.inject_frame(bytes(lan.max_frame + 1))
+    assert lan.dropped_frames == 1
+    # The paper's dangerous case: bigger than the driver's 1520-byte
+    # buffer yet small enough for the NIC -- it *is* delivered.
+    assert lan.inject_frame(oversize_packet(2000))
+
+
+def test_rx_dump_recovery_clears_both_fifos_and_frees_capacity():
+    lan = Lan9250(status_slots=4, fifo_bytes=256)
+    _rx_on(lan)
+    for _ in range(4):
+        assert lan.inject_frame(bytes(60))
+    assert not lan.inject_frame(bytes(60))
+    spi_readword(lan, RX_STATUS_FIFO)  # arm the drain stage too
+    spi_writeword(lan, RX_CFG, RX_CFG_RX_DUMP)
+    assert lan.rx_used_bytes() == 0
+    assert len(lan.frames) == 0
+    assert spi_readword(lan, RX_FIFO_INF) == 0
+    assert lan.inject_frame(bytes(60))
+
+
+def test_capacity_defaults_absorb_a_burst_without_loss():
+    lan = Lan9250()
+    _rx_on(lan)
+    frame = lightbulb_packet(True)  # 43 bytes, padded 44
+    for _ in range(64):
+        assert lan.inject_frame(frame)
+    assert lan.dropped_frames == 0
+    assert not lan.inject_frame(frame)  # slot 65 exceeds status FIFO
+    assert lan.dropped_frames == 1
