@@ -6,7 +6,9 @@ Wraps the library's main entry points for interactive exploration:
 * ``lint``        -- static analysis of the Bedrock2 programs (B2Axxx codes);
                      ``--binary`` lints the compiled RV32IM images instead
                      (CFG recovery + abstract interpretation + translation
-                     validation, B2A1xx codes)
+                     validation, B2A1xx codes); ``--binary --timing`` also
+                     proves WCET/stack bounds against the committed
+                     budgets (B2A2xx codes)
 * ``check``       -- the per-interface integration checks (Figure 3)
 * ``end2end``     -- run the end-to-end theorem checker with packets
 * ``fuzz``        -- differential fuzzing of all execution layers
@@ -14,6 +16,7 @@ Wraps the library's main entry points for interactive exploration:
                      nodes under adversarial link conditions, every node's
                      MMIO trace spec-checked online
 * ``bench``       -- the §7.2.1 latency decomposition
+* ``wcet``        -- prove static WCET/stack bounds, measure tightness
 * ``stats``       -- run a verify+end2end workload, print all obs counters
 * ``report``      -- render ledger/trace/metrics/history into one HTML file
 * ``disasm``      -- disassemble the compiled lightbulb (or doorlock)
@@ -147,6 +150,53 @@ def _cmd_lint_binary(args) -> list:
     return findings
 
 
+def _timing_apps():
+    """(name, CompiledProgram) for the shipped apps, compile shared."""
+    from .compiler import compile_program
+    from .sw.doorlock import doorlock_program
+    from .sw.program import compiled_lightbulb
+
+    return [("lightbulb", compiled_lightbulb(stack_top=1 << 16)),
+            ("doorlock", compile_program(doorlock_program(), entry="main",
+                                         stack_top=1 << 16))]
+
+
+def _timing_report_for(compiled, loop_bounds, suppress=frozenset()):
+    from .analysis.binlint import BinaryLintConfig
+    from .analysis.wcet import TimingConfig, analyze_timing
+    from .analysis.costmodel import pipeline_cost_model
+    from .platform.bus import MMIO_RANGES
+
+    config = TimingConfig(
+        lint=BinaryLintConfig.for_platform(compiled.stack_top, MMIO_RANGES,
+                                           suppress=suppress),
+        model=pipeline_cost_model(strict=False),
+        loop_bounds=loop_bounds)
+    return analyze_timing(compiled, config)
+
+
+def _cmd_lint_timing(args) -> list:
+    """``lint --binary --timing``: prove WCET + stack bounds for the
+    shipped apps and hold them to the committed budgets (B2A2xx)."""
+    from .analysis.wcet import check_budgets, drift_findings, load_budgets
+
+    suppress = _parse_suppressions(args.suppress)
+    loop_bounds, app_budgets = load_budgets(args.budgets)
+    findings = list(drift_findings())
+    for name, compiled in _timing_apps():
+        if args.app not in (name, "all"):
+            continue
+        report = _timing_report_for(compiled, loop_bounds, suppress)
+        findings.extend(report.findings)
+        findings.extend(check_budgets(report, app_budgets.get(name, {})))
+
+    def keep(diag) -> bool:
+        return (diag.code not in suppress
+                and (diag.code, diag.function) not in suppress)
+
+    return [d for d in findings if keep(d)]
+
+
 def cmd_lint(args) -> int:
     from .analysis import LintConfig, lint_program
     from .analysis.domains import CsPairingSpec
@@ -158,8 +208,14 @@ def cmd_lint(args) -> int:
     from .sw.verify import platform_mmio_spec
 
     _obs_start(args)
+    if args.timing and not args.binary:
+        parser_error = "--timing requires --binary (it analyzes images)"
+        print(parser_error)
+        return 2
     if args.binary:
         findings = _cmd_lint_binary(args)
+        if args.timing:
+            findings.extend(_cmd_lint_timing(args))
         if args.format == "json":
             print(render_json(findings))
         else:
@@ -457,6 +513,69 @@ def cmd_stats(args) -> int:
     return 0 if (result.ok and fleet_ok) else 1
 
 
+def cmd_wcet(args) -> int:
+    """Prove per-app WCET/stack bounds, then measure tightness on a
+    deterministic fuzz-program sample (static bound / measured pipeline
+    firings); writes the JSON artifact the HTML report renders."""
+    import json
+
+    from .analysis.wcet import check_budgets, drift_findings, load_budgets
+
+    _obs_start(args)
+    loop_bounds, app_budgets = load_budgets(args.budgets)
+    doc = {"format": "repro-wcet", "version": 1, "apps": {},
+           "drift": [d.render() for d in drift_findings()],
+           "tightness": None}
+    failed = bool(doc["drift"])
+    for name, compiled in _timing_apps():
+        report = _timing_report_for(compiled, loop_bounds)
+        budget = app_budgets.get(name, {})
+        over = check_budgets(report, budget)
+        failed = failed or bool(report.findings) or bool(over)
+        doc["apps"][name] = {
+            "report": report.to_json(),
+            "budgets": budget,
+            "budget_findings": [d.render() for d in over],
+        }
+        print("%-10s startup %s  iteration %s  stack %s  findings %d  "
+              "budget %s"
+              % (name, report.startup_cycles, report.iteration_cycles,
+                 report.stack_bound, len(report.findings),
+                 "OVER" if over else "ok"))
+    if args.seeds > 0:
+        from .fuzz.generator import generate_program
+        from .fuzz.oracle import run_differential
+
+        ratios = []
+        sound = True
+        for seed in range(args.seeds):
+            result = run_differential(generate_program(seed))
+            wcet = result.get("wcet") or {}
+            if result["status"] != "ok" or not wcet.get("measured_cycles"):
+                sound = False
+                continue
+            ratios.append(wcet["static_cycles"] / wcet["measured_cycles"])
+        doc["tightness"] = {
+            "seeds": args.seeds,
+            "proved": len(ratios),
+            "sound": sound,
+            "mean": (round(sum(ratios) / len(ratios), 3)
+                     if ratios else None),
+            "max": round(max(ratios), 3) if ratios else None,
+        }
+        failed = failed or not sound
+        print("tightness over %d seeds: mean %s  max %s  (%d proved)"
+              % (args.seeds, doc["tightness"]["mean"],
+                 doc["tightness"]["max"], len(ratios)))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.json)
+    _obs_finish(args)
+    return 1 if failed else 0
+
+
 def cmd_report(args) -> int:
     """Render the observability artifacts of a run -- verification
     ledger, span trace, bench history -- into one self-contained HTML
@@ -465,7 +584,7 @@ def cmd_report(args) -> int:
 
     html = build_report(ledger_path=args.ledger, trace_path=args.trace,
                         history_dir=args.history, fleet_path=args.fleet,
-                        title=args.title)
+                        wcet_path=args.wcet, title=args.title)
     with open(args.output, "w") as fh:
         fh.write(html)
     print("wrote %s (%d bytes, self-contained)"
@@ -570,6 +689,14 @@ def main(argv=None) -> int:
                    help="lint the compiled RV32IM images instead of the "
                         "source (CFG recovery + abstract interpretation + "
                         "translation validation; B2A1xx codes)")
+    p.add_argument("--timing", action="store_true",
+                   help="with --binary: also prove static WCET and stack "
+                        "bounds and check them against the committed "
+                        "budgets (B2A201-B2A205)")
+    p.add_argument("--budgets", metavar="FILE.json",
+                   default="timing-budgets.json",
+                   help="per-app WCET/stack budgets and loop flow-fact "
+                        "annotations (default timing-budgets.json)")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--suppress", action="append", metavar="CODE[:FUNC]",
                    default=None,
@@ -658,6 +785,20 @@ def main(argv=None) -> int:
     add_trace_out(p)
     p = sub.add_parser("bench", help="latency decomposition (§7.2.1)")
     add_trace_out(p)
+    p = sub.add_parser("wcet",
+                       help="prove static WCET/stack bounds for the "
+                            "shipped apps and measure bound tightness "
+                            "on fuzz programs")
+    p.add_argument("--budgets", metavar="FILE.json",
+                   default="timing-budgets.json",
+                   help="committed budgets + loop annotations")
+    p.add_argument("--seeds", type=int, default=25, metavar="N",
+                   help="fuzz programs for the tightness sample "
+                        "(0 disables; default 25)")
+    p.add_argument("--json", metavar="OUT", default=None,
+                   help="write the wcet artifact (rendered by `report "
+                        "--wcet`)")
+    add_trace_out(p)
     p = sub.add_parser("stats", help="run a workload, print obs counters")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--frames", type=int, default=2)
@@ -683,6 +824,9 @@ def main(argv=None) -> int:
     p.add_argument("--fleet", metavar="FILE.json", default="fleet.json",
                    help="fleet report from `fleet --json` "
                         "(section omitted when the file is absent)")
+    p.add_argument("--wcet", metavar="FILE.json", default="wcet.json",
+                   help="timing artifact from `wcet --json` "
+                        "(section omitted when the file is absent)")
     p.add_argument("--title", default="repro verification report")
     p = sub.add_parser("disasm", help="disassemble a compiled app")
     p.add_argument("--app", choices=("lightbulb", "doorlock"),
@@ -698,6 +842,7 @@ def main(argv=None) -> int:
         "fuzz": cmd_fuzz,
         "fleet": cmd_fleet,
         "bench": cmd_bench,
+        "wcet": cmd_wcet,
         "stats": cmd_stats,
         "report": cmd_report,
         "disasm": cmd_disasm,

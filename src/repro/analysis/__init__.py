@@ -24,7 +24,13 @@ never the reverse -- vcgen receives the prescreener by injection):
   images (basic blocks, branch targets, the call graph);
 * `repro.analysis.binlint`  -- the binary-level abstract interpreter and
   translation-validation lint (`python -m repro lint --binary`), with
-  stable ``B2A1xx`` codes.
+  stable ``B2A1xx`` codes;
+* `repro.analysis.costmodel` -- the p4mm-calibrated static price list
+  (successful-rule-firing units), drift-checked against the live
+  pipeline module;
+* `repro.analysis.wcet`     -- interprocedural WCET and stack high-water
+  bounds over recovered CFGs (`python -m repro lint --binary --timing`),
+  with stable ``B2A2xx`` codes.
 """
 
 from .binlint import (  # noqa: F401
@@ -36,5 +42,13 @@ from .binlint import (  # noqa: F401
     translation_validate,
 )
 from .cfg import BinaryCFG, call_graph, recover_cfg  # noqa: F401
+from .costmodel import CostModel, pipeline_cost_model  # noqa: F401
 from .lint import Diagnostic, LintConfig, lint_program  # noqa: F401
 from .prescreen import Prescreener  # noqa: F401
+from .wcet import (  # noqa: F401
+    TimingConfig,
+    TimingReport,
+    analyze_timing,
+    check_budgets,
+    drift_findings,
+)

@@ -328,3 +328,44 @@ def generate_program(seed_or_rng: Union[int, random.Random],
     rng = (seed_or_rng if isinstance(seed_or_rng, random.Random)
            else rng_for(seed_or_rng))
     return _Generator(rng, config or GenConfig()).program()
+
+
+def fuel_bounds(program: Program) -> dict:
+    """Ground-truth loop bounds of a generated program, per function.
+
+    Every loop this generator emits is the fuel idiom -- ``f<k> :=
+    literal`` immediately before ``while f<k>`` -- so the bound is read
+    straight off the AST: the value of the counter's most recent literal
+    assignment when its ``while`` is reached, in pre-order (the
+    compiler lays statements out linearly, so for loops that survive to
+    the binary this matches the WCET analyzer's header-pc ordering).
+    Recorded into corpus metadata by `repro.fuzz.shrink` so tests can
+    cross-check inferred bounds against known ones corpus-wide.
+    """
+    from ..bedrock2 import ast_ as A
+
+    def walk(cmd: A.Cmd, env: dict, out: List[int]) -> None:
+        if isinstance(cmd, A.SSeq):
+            walk(cmd.first, env, out)
+            walk(cmd.rest, env, out)
+        elif isinstance(cmd, A.SSet):
+            if (cmd.name.startswith("f") and cmd.name[1:].isdigit()
+                    and isinstance(cmd.value, A.ELit)):
+                env[cmd.name] = cmd.value.value
+        elif isinstance(cmd, A.SWhile):
+            if isinstance(cmd.cond, A.EVar) and cmd.cond.name in env:
+                out.append(env[cmd.cond.name])
+            walk(cmd.body, env, out)
+        elif isinstance(cmd, A.SIf):
+            walk(cmd.then_, env, out)
+            walk(cmd.else_, env, out)
+        elif isinstance(cmd, A.SStackalloc):
+            walk(cmd.body, env, out)
+
+    bounds = {}
+    for name, function in program.items():
+        out: List[int] = []
+        walk(function.body, {}, out)
+        if out:
+            bounds[name] = out
+    return bounds

@@ -82,8 +82,10 @@ from .generator import (
 )
 
 #: Stop-at-first-divergence comparison order; "interp" is the reference.
-LAYERS = ("interp", "smallstep", "binlint", "compiled", "fast", "kami-spec",
-          "kami-pipelined")
+#: "wcet" is the second static layer: it must *prove* timing and stack
+#: bounds that the dynamic layers after it are then measured against.
+LAYERS = ("interp", "smallstep", "binlint", "wcet", "compiled", "fast",
+          "kami-spec", "kami-pipelined")
 
 _MEM_SIZE = 1 << 16          # machine RAM [0, 0x10000): image, scratch, stack
 _STACK_TOP = 1 << 16
@@ -136,18 +138,22 @@ class LayerOutcome:
     """What one layer produced: comparable (rets, scratch, trace) on
     success, or an error kind + detail."""
 
-    __slots__ = ("name", "status", "rets", "scratch", "trace", "detail")
+    __slots__ = ("name", "status", "rets", "scratch", "trace", "detail",
+                 "cycles")
 
     def __init__(self, name: str, status: str = "ok",
                  rets: Tuple[int, ...] = (), scratch: bytes = b"",
                  trace: Optional[List[Tuple[str, int, int]]] = None,
-                 detail: str = ""):
+                 detail: str = "", cycles: Optional[int] = None):
         self.name = name
         self.status = status       # "ok" | "crash" | "stuck" | "timeout"
         self.rets = rets
         self.scratch = scratch
         self.trace = trace if trace is not None else []
         self.detail = detail
+        # Successful rule firings spent (kami-pipelined only): the
+        # measured side of the WCET soundness check.
+        self.cycles = cycles
 
 
 def _timed(layer: str, fn: Callable[[], LayerOutcome]) -> LayerOutcome:
@@ -198,6 +204,46 @@ def _binlint_findings(compiled):
     config = BinaryLintConfig.for_platform(
         _STACK_TOP, ((DEV_BASE, DEV_BASE + DEV_SIZE),))
     return lint_image(compiled.image, compiled.symbols, config)
+
+
+def _wcet_prove(compiled) -> Tuple[Optional[dict], Optional[str]]:
+    """The second static layer: prove WCET and stack bounds.
+
+    Returns ``({"static_cycles": fill + wcet, "stack_bound": bytes},
+    None)`` on success or ``(None, detail)`` when the analyzer cannot
+    bound the program -- generated programs are fuel-bounded by
+    construction, so an unproved bound is an analyzer bug and diverges
+    like any other kill.  Analyzer *crashes* (possible on mutated
+    binaries with mangled control flow) are reported the same way, not
+    raised.  Lazy imports, mirroring `_binlint_findings`.
+    """
+    from ..analysis.binlint import BinaryLintConfig
+    from ..analysis.costmodel import pipeline_cost_model
+    from ..analysis.wcet import TimingConfig, analyze_timing
+
+    icache_words = len(compiled.image) // 4 + 4
+    try:
+        config = TimingConfig(
+            lint=BinaryLintConfig.for_platform(
+                _STACK_TOP, ((DEV_BASE, DEV_BASE + DEV_SIZE),)),
+            model=pipeline_cost_model())
+        report = analyze_timing(compiled, config,
+                                icache_words=icache_words)
+    except Exception as exc:  # mutated image: analyzer must not crash out
+        return None, "analyzer error: %s: %s" % (type(exc).__name__, exc)
+    if report.findings:
+        shown = "; ".join(d.render() for d in report.findings[:3])
+        if len(report.findings) > 3:
+            shown += "; (+%d more)" % (len(report.findings) - 3)
+        return None, shown
+    if report.wcet_cycles is None or report.startup_cycles is not None:
+        return None, ("program did not get a terminating WCET "
+                      "(wcet=%r startup=%r)" % (report.wcet_cycles,
+                                                report.startup_cycles))
+    if report.stack_bound is None:
+        return None, "no static stack bound"
+    return {"static_cycles": report.fill_cycles + report.wcet_cycles,
+            "stack_bound": report.stack_bound}, None
 
 
 def _run_machine(name: str, compiled, n_rets: int,
@@ -285,19 +331,23 @@ def _run_kami_pipelined(compiled, n_rets: int, ref_instret: int,
             out = snapshot()
             out.status = "ok"  # comparable; the trace mismatch is the diff
             out.detail = prefix.detail
+            out.cycles = spent
             return out
         if len(trace) == len(expected.trace):
             done = snapshot()
             if done.rets == expected.rets and done.scratch == expected.scratch:
+                done.cycles = spent
                 return done
         if taken < chunk:  # quiescent: every rule aborted
             out = snapshot()
             out.status = "stuck"
             out.detail = "pipeline quiescent after %d steps" % spent
+            out.cycles = spent
             return out
     out = snapshot()
     out.status = "timeout"
     out.detail = "no settle within %d steps" % budget
+    out.cycles = spent
     return out
 
 
@@ -367,8 +417,8 @@ def run_differential(program: Program,
             return diverged(record)
 
     need_binary = any(name in layers
-                      for name in ("binlint", "compiled", "kami-spec",
-                                   "kami-pipelined"))
+                      for name in ("binlint", "wcet", "compiled",
+                                   "kami-spec", "kami-pipelined"))
     if not need_binary:
         return result
     try:
@@ -391,6 +441,30 @@ def run_differential(program: Program,
             return diverged({"layer": "binlint", "kind": "static",
                              "detail": shown})
 
+    bounds: Optional[dict] = None
+    if "wcet" in layers:
+        result["layers"].append("wcet")
+        bounds, why = _timed("wcet", lambda: _wcet_prove(compiled))
+        if bounds is None:
+            return diverged({"layer": "wcet", "kind": "static",
+                             "detail": why or "unbounded"})
+        result["wcet"] = dict(bounds)
+
+    def stack_overrun(machine, layer: str) -> Optional[dict]:
+        """Watermark vs proved bound: `sp_min` is the lowest value ever
+        written to sp, so the measured high water is its distance below
+        the stack top (zero if sp was never set)."""
+        if bounds is None:
+            return None
+        depth = max(0, _STACK_TOP - machine.sp_min)
+        result["wcet"]["measured_stack"] = max(
+            depth, result["wcet"].get("measured_stack", 0))
+        if depth > bounds["stack_bound"]:
+            return {"layer": layer, "kind": "wcet-soundness",
+                    "detail": "stack watermark %d exceeds static bound %d"
+                    % (depth, bounds["stack_bound"])}
+        return None
+
     ref_instret = 0
     ref_machine = None
     if "compiled" in layers:
@@ -404,6 +478,9 @@ def run_differential(program: Program,
                              "detail": "RiscvUB: %s" % exc})
         ref_instret = ref_machine.instret
         record = _compare(reference, machine_out)
+        if record:
+            return diverged(record)
+        record = stack_overrun(ref_machine, "compiled")
         if record:
             return diverged(record)
 
@@ -425,6 +502,14 @@ def run_differential(program: Program,
             if state_diff:
                 return diverged({"layer": "fast", "kind": "machine-state",
                                  "detail": state_diff})
+            if fast_machine.sp_min != ref_machine.sp_min:
+                return diverged({"layer": "fast", "kind": "machine-state",
+                                 "detail": "sp_min %#x vs %#x"
+                                 % (fast_machine.sp_min,
+                                    ref_machine.sp_min)})
+        record = stack_overrun(fast_machine, "fast")
+        if record:
+            return diverged(record)
 
     if "kami-spec" in layers:
         result["layers"].append("kami-spec")
@@ -443,6 +528,19 @@ def run_differential(program: Program,
         record = _compare(reference, pipe_out)
         if record:
             return diverged(record)
+        if bounds is not None and pipe_out.cycles is not None:
+            # Measured firings vs the proved bound. Completion is only
+            # *detected* at chunk granularity (the halt spin keeps the
+            # pipeline firing), so allow that detection lag on top.
+            result["wcet"]["measured_cycles"] = pipe_out.cycles
+            limit = bounds["static_cycles"] + 2 * _PIPELINE_CHUNK
+            if pipe_out.cycles > limit:
+                return diverged({
+                    "layer": "kami-pipelined", "kind": "wcet-soundness",
+                    "detail": "measured %d firings exceed static WCET %d "
+                              "(+%d detection slack)"
+                    % (pipe_out.cycles, bounds["static_cycles"],
+                       2 * _PIPELINE_CHUNK)})
     return result
 
 

@@ -35,6 +35,7 @@ from typing import Callable, List, Optional, Tuple
 from .. import obs
 from ..bedrock2.ast_ import Program
 from .astjson import program_from_json, program_to_json
+from .generator import fuel_bounds
 from .oracle import LAYERS, _run_interp, logic_crosscheck, run_differential
 
 _SHRINK_STEPS = obs.counter("fuzz.shrink.steps")
@@ -366,6 +367,10 @@ def save_reproducer(corpus_dir: str, seed: int, program: Program,
         "mutation": mutation,
         "divergence": divergence,
         "program": program_to_json(program),
+        # Ground-truth fuel bounds (per function, pre-order): lets tests
+        # cross-check the static WCET analyzer's inferred loop bounds
+        # against known ones over the whole corpus.
+        "fuel_bounds": fuel_bounds(program),
     }
     if stats:
         doc["original_stmts"] = stats["original_stmts"]

@@ -47,7 +47,7 @@ PROFILES: Dict[str, FaultProfile] = {
 class FaultyLink:
     """One unidirectional link with its own fault stream."""
 
-    def __init__(self, profile: FaultProfile, rng: random.Random):
+    def __init__(self, profile: FaultProfile, rng: random.Random) -> None:
         self.profile = profile
         self.rng = rng
         self.counters: Dict[str, int] = {

@@ -21,7 +21,7 @@ discipline `logic.dispatch` gives verification batches.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import obs
 from .faults import PROFILES, FaultyLink
@@ -54,7 +54,8 @@ def announce_frame(mac: bytes) -> bytes:
     return BROADCAST_MAC + mac + _ANNOUNCE_ETHERTYPE + bytes(6)
 
 
-def _ingress_fn(switch: EthernetSwitch, port: int, frame: bytes):
+def _ingress_fn(switch: EthernetSwitch, port: int,
+                frame: bytes) -> Callable[[], None]:
     def ingress() -> None:
         switch.ingress(port, frame)
     return ingress
@@ -112,7 +113,7 @@ def run_fleet_shard(nodes: int, duration: int, profile: str = "lossy",
                       for index in sorted(node_objs)]}
 
 
-def _step_fn(node: Node, budget: int, check: bool):
+def _step_fn(node: Node, budget: int, check: bool) -> Callable[[], None]:
     def step() -> None:
         node.run(budget)
         if check:

@@ -67,7 +67,7 @@ def actuator_pin(kind: str) -> int:
 
 
 class Node:
-    def __init__(self, index: int, kind: str):
+    def __init__(self, index: int, kind: str) -> None:
         if kind not in KINDS:
             raise ValueError("unknown node kind %r" % kind)
         self.index = index

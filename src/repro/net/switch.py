@@ -32,7 +32,7 @@ class _Port:
                  "delivered")
 
     def __init__(self, name: str, link: FaultyLink,
-                 deliver: Optional[Callable[[bytes], None]]):
+                 deliver: Optional[Callable[[bytes], None]]) -> None:
         self.name = name
         self.link = link
         self.deliver = deliver
@@ -42,7 +42,7 @@ class _Port:
 
 
 class EthernetSwitch:
-    def __init__(self, sim: Simulator, queue_depth: int = 16):
+    def __init__(self, sim: Simulator, queue_depth: int = 16) -> None:
         self.sim = sim
         self.queue_depth = queue_depth
         self.ports: List[_Port] = []

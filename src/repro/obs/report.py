@@ -562,10 +562,83 @@ def _section_fleet(fleet: Optional[Dict]) -> str:
             % ("".join(tiles), note, "".join(rows), "".join(links)))
 
 
+def _load_wcet(path: Optional[str]) -> Optional[Dict]:
+    """A timing artifact from ``python -m repro wcet --json`` (None when
+    the file is absent or not a wcet artifact)."""
+    if not path or not os.path.isfile(path):
+        return None
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except ValueError:
+        return None
+    if not isinstance(doc, dict) or doc.get("format") != "repro-wcet":
+        return None
+    return doc
+
+
+def _section_wcet(wcet: Optional[Dict]) -> str:
+    if wcet is None:
+        return ('<p class="absent">Timing artifact not found &mdash; run '
+                '<code>python -m repro wcet --json wcet.json</code> '
+                'and pass <code>--wcet</code>.</p>')
+    tight = wcet.get("tightness") or {}
+    drift = wcet.get("drift") or []
+    tiles = [
+        _tile(str(tight.get("mean", "&mdash;")), "mean WCET tightness"),
+        _tile(str(tight.get("max", "&mdash;")), "max WCET tightness"),
+        _tile("%s/%s" % (tight.get("proved", 0), tight.get("seeds", 0)),
+              "fuzz programs proved"),
+        _tile("sound" if tight.get("sound") else "VIOLATED",
+              "measured &le; static"),
+        _tile(str(len(drift)), "cost-model drift findings"),
+    ]
+    rows = []
+    for name, app in sorted((wcet.get("apps") or {}).items()):
+        report = app.get("report", {})
+        budgets = app.get("budgets", {})
+        over = app.get("budget_findings", [])
+        n_findings = len(report.get("findings", []))
+
+        def cell(key: str, budget_key: str) -> str:
+            value = report.get(key)
+            budget = budgets.get(budget_key)
+            shown = "{:,}".format(value) if isinstance(value, int) \
+                else "&mdash;"
+            if isinstance(value, int) and isinstance(budget, int):
+                shown += " / {:,}".format(budget)
+            return shown
+
+        status = "proved" if not (n_findings or over) else "timeout"
+        label = "proved" if not (n_findings or over) else "FAIL"
+        rows.append(
+            "<tr><td>%s</td><td class=\"num\">%s</td>"
+            "<td class=\"num\">%s</td><td class=\"num\">%s</td>"
+            "<td class=\"num\">%d</td>"
+            "<td><span class=\"badge badge-%s\">%s</span></td></tr>"
+            % (_esc(name), cell("startup_cycles", "startup_cycles"),
+               cell("iteration_cycles", "iteration_cycles"),
+               cell("stack_bound", "stack_bytes"), n_findings,
+               status, label))
+    note = ("<p class=\"note\">Static bounds are in successful "
+            "pipeline-rule firings (the repo's cycle currency); "
+            "tightness = static bound / measured worst case on "
+            "generated programs. Cells show bound / budget.</p>")
+    return ('<div class="tiles">%s</div>%s'
+            "<table><thead><tr><th>app</th>"
+            "<th class=\"num\">startup (firings)</th>"
+            "<th class=\"num\">per-iteration (firings)</th>"
+            "<th class=\"num\">stack (bytes)</th>"
+            "<th class=\"num\">findings</th><th>status</th></tr></thead>"
+            "<tbody>%s</tbody></table>"
+            % ("".join(tiles), note, "".join(rows)))
+
+
 def build_report(ledger_path: Optional[str] = None,
                  trace_path: Optional[str] = None,
                  history_dir: Optional[str] = None,
                  fleet_path: Optional[str] = None,
+                 wcet_path: Optional[str] = None,
                  title: str = "repro verification report") -> str:
     """Render the report; every input is optional and a missing file
     degrades to an in-page note so the command never fails on partial
@@ -574,12 +647,14 @@ def build_report(ledger_path: Optional[str] = None,
     events = _load_trace(trace_path)
     history = _load_history(history_dir)
     fleet = _load_fleet(fleet_path)
+    wcet = _load_wcet(wcet_path)
 
     inputs = []
     for label, path, present in (
             ("ledger", ledger_path, records is not None),
             ("trace", trace_path, events is not None),
             ("fleet", fleet_path, fleet is not None),
+            ("wcet", wcet_path, wcet is not None),
             ("history", history_dir, bool(history))):
         if path:
             inputs.append("%s: %s%s" % (label, path,
@@ -600,6 +675,7 @@ def build_report(ledger_path: Optional[str] = None,
         card("Span timeline", _section_timeline(events)),
         card("Trace events by layer", _section_trace_stats(events)),
         card("Fleet under adversarial links", _section_fleet(fleet)),
+        card("Static timing &amp; stack bounds", _section_wcet(wcet)),
         card("Bench trends", _section_history(history)),
         "<footer>Generated by <code>python -m repro report</code> "
         "&mdash; self-contained, no scripts, no external assets.</footer>",

@@ -197,10 +197,32 @@ class FastEngine:
             except InvalidInstruction as exc:
                 raise RiscvUB("invalid instruction at pc=0x%x: %s"
                               % (pc, exc)) from exc
-            entry = DecodedEntry(raw, instr.name, self._compile(instr),
+            fn = self._compile(instr)
+            if instr.rd == 2:
+                fn = self._watermark_sp(fn)
+            entry = DecodedEntry(raw, instr.name, fn,
                                  instr.name in ENDS_BLOCK)
             self.dcache[raw] = entry
         return entry
+
+    def _watermark_sp(self, inner: Callable[[], None]
+                      ) -> Callable[[], None]:
+        """Keep `RiscvMachine.sp_min` (the stack high-water watermark)
+        exact on the fast path: closures write `regs` directly, so any
+        executor targeting x2 is wrapped here."""
+        m = self.machine
+        regs = m.regs
+
+        def ex() -> None:
+            # try/finally: jal/jalr link before their target-alignment
+            # check, so the write must be recorded even on a UB raise,
+            # exactly as the reference `set_register` path does.
+            try:
+                inner()
+            finally:
+                if regs[2] < m.sp_min:
+                    m.sp_min = regs[2]
+        return ex
 
     def flush_opcounts(self) -> None:
         """Move per-entry execution counts into the `riscv.op.*` counters."""

@@ -32,6 +32,7 @@ from .semantics import Primitives, execute
 _INSTRUCTIONS = obs.counter("riscv.instructions")
 _MMIO_LOADS = obs.counter("riscv.mmio_loads")
 _MMIO_STORES = obs.counter("riscv.mmio_stores")
+_SP_MIN = obs.gauge("riscv.sp_min")
 
 
 class RiscvUB(Exception):
@@ -105,6 +106,10 @@ class RiscvMachine(Primitives):
         # list of (base, length). CPU access inside a loan is UB.
         self.loans: List[Tuple[int, int]] = []
         self.instret = 0
+        # Stack high-water watermark: the lowest value ever written to
+        # x2/sp. Starts at the all-ones word (sp unset); the static WCET
+        # analyzer's stack bound is checked against `stack_top - sp_min`.
+        self.sp_min = word.MASK
         # Fast-path execution (repro.riscv.fastpath): decode cache +
         # fused basic blocks, required to be bit-identical to `step`.
         # The engine is created lazily so `with_program` can swap the
@@ -131,7 +136,10 @@ class RiscvMachine(Primitives):
 
     def set_register(self, reg: int, value: int) -> None:
         if reg != 0:
-            self.regs[reg] = value & word.MASK
+            value &= word.MASK
+            self.regs[reg] = value
+            if reg == 2 and value < self.sp_min:
+                self.sp_min = value
 
     def get_pc(self) -> int:
         return self.pc
@@ -289,6 +297,7 @@ class RiscvMachine(Primitives):
             return max_steps
         finally:
             _INSTRUCTIONS.inc(self.instret - start)
+            _SP_MIN.set(self.sp_min)
 
     def _run_instrumented(self, max_steps: int,
                           until_pc: Optional[int] = None,
@@ -312,6 +321,7 @@ class RiscvMachine(Primitives):
                 finally:
                     retired = self.instret - start
                     _INSTRUCTIONS.inc(retired)
+                    _SP_MIN.set(self.sp_min)
                     sp.set("instructions", retired)
                     engine.flush_opcounts()
                 return taken
@@ -330,6 +340,7 @@ class RiscvMachine(Primitives):
             finally:
                 retired = self.instret - start
                 _INSTRUCTIONS.inc(retired)
+                _SP_MIN.set(self.sp_min)
                 sp.set("instructions", retired)
                 for name, n in opcounts.items():
                     obs.counter("riscv.op." + name).inc(n)

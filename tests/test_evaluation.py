@@ -96,3 +96,36 @@ def test_prototype_beats_verified():
     verified = measure_latency("fe310", "verified", "verified")
     prototype = measure_latency("fe310", "optimizing", "prototype")
     assert prototype.latency_cycles < verified.latency_cycles
+
+
+# Golden axis ratios for §7.2.1's factor decomposition. The latency
+# harness is deterministic, so any drift here means a semantic change in
+# the cycle model (core/timing.py, kami/pipeline_proc.py) or the driver
+# variants -- exactly the dependencies the static WCET cost model is
+# calibrated against (analysis/costmodel.py). Update these goldens and
+# timing-budgets.json together, deliberately.
+_GOLDEN_FACTORS = {
+    "spi_pipelining": 1.235756,
+    "timeout_logic": 1.408786,
+    "compiler": 2.346991,
+    "processor": 1.323525,
+    "total": 5.407806,
+}
+
+
+@pytest.mark.parametrize("axis", sorted(_GOLDEN_FACTORS))
+def test_factor_decomposition_matches_goldens(axis):
+    from repro.core.timing import factor_decomposition
+
+    measured = factor_decomposition()[axis]
+    assert measured == pytest.approx(_GOLDEN_FACTORS[axis], abs=5e-7)
+
+
+def test_factor_product_equals_total():
+    """The per-axis factors multiply out to the end-to-end ratio -- the
+    decomposition covers the whole speedup with no leftover factor."""
+    from repro.core.timing import factor_decomposition
+
+    decomposition = factor_decomposition()
+    assert decomposition["product"] == pytest.approx(
+        decomposition["total"], rel=1e-12)
